@@ -1,0 +1,82 @@
+"""Ablations of the design choices called out in DESIGN.md.
+
+1. Pruned vs conservative system model (Section 4.1): verification verdicts
+   stay compatible while the conservative model is much larger/slower.
+2. LoRA rank (Appendix E): trainable-parameter fraction vs rank.
+3. Responses per prompt m: preference-pair budget N·C(m,2).
+"""
+
+import time
+
+from repro.core import conservative_driving_model
+from repro.driving import all_specifications, response_templates, task_by_name
+from repro.feedback import FormalVerifier, max_pairs
+from repro.glm2fsa import build_controller_from_text
+from repro.lm import ModelConfig, TransformerLM
+from repro.lm.lora import LoRAConfig, apply_lora
+
+from conftest import print_table
+
+
+def test_ablation_pruned_vs_conservative_model(benchmark):
+    task = task_by_name("turn_right_traffic_light")
+    controller = build_controller_from_text(response_templates(task.name, "compliant")[0], task=task.name)
+    specs = {name: formula for name, formula in all_specifications().items() if name in {"phi_3", "phi_5", "phi_9"}}
+    verifier = FormalVerifier(specs)
+
+    def run():
+        results = {}
+        pruned_model = task.model()
+        start = time.perf_counter()
+        pruned = verifier.verify_controller(pruned_model, controller, task="pruned")
+        pruned_time = time.perf_counter() - start
+
+        conservative_model = conservative_driving_model(
+            ["green_traffic_light", "car_from_left", "pedestrian_at_right", "pedestrian"],
+            name="conservative_traffic_light",
+        )
+        start = time.perf_counter()
+        conservative = verifier.verify_controller(conservative_model, controller, task="conservative")
+        conservative_time = time.perf_counter() - start
+        results["pruned"] = (pruned_model.num_states, pruned.num_satisfied, pruned_time)
+        results["conservative"] = (conservative_model.num_states, conservative.num_satisfied, conservative_time)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [(name, states, satisfied, seconds) for name, (states, satisfied, seconds) in results.items()]
+    print_table("Ablation — pruned vs conservative system model (Φ3, Φ5, Φ9)",
+                ["model", "states", "satisfied", "seconds"], rows)
+
+    assert results["conservative"][0] > results["pruned"][0]
+    # The conservative model adds behaviours, so it can only make verification
+    # stricter: it never reports more satisfied specifications than the pruned model.
+    assert results["conservative"][1] <= results["pruned"][1]
+    assert results["pruned"][1] == len(verifier.specifications)
+
+
+def test_ablation_lora_rank(benchmark):
+    def run():
+        rows = []
+        for rank in (1, 2, 4, 8, 16):
+            model = TransformerLM(ModelConfig(vocab_size=200, max_seq_len=64, dim=64, num_heads=4, num_layers=2, hidden_dim=128), seed=0)
+            summary = apply_lora(model, LoRAConfig(rank=rank, seed=0))
+            rows.append((rank, summary["trainable_parameters"], summary["trainable_fraction"]))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("Ablation — LoRA rank vs trainable parameters", ["rank", "trainable params", "fraction"], rows)
+    fractions = [fraction for _, _, fraction in rows]
+    assert fractions == sorted(fractions)
+    assert fractions[0] < 0.05          # rank 1 touches a tiny fraction of the model
+    assert fractions[-1] < 0.5          # even rank 16 stays parameter-efficient
+
+
+def test_ablation_responses_per_prompt(benchmark):
+    def run():
+        return [(m, max_pairs(8, m)) for m in (2, 3, 4, 6, 8)]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("Ablation — responses per prompt m vs preference-pair budget (8 tasks)", ["m", "max pairs"], rows)
+    budgets = [budget for _, budget in rows]
+    assert budgets == sorted(budgets)
+    assert budgets[-1] == 8 * 28

@@ -1,0 +1,96 @@
+"""Figure 11 and the formal-vs-empirical consistency result (Section 5.2).
+
+Controllers built from the model's responses before and after fine-tuning are
+executed in the Carla-substitute simulator; for each of Φ1–Φ5 we report the
+fraction ``P_Φ`` of rollouts that satisfy the specification.  The paper's
+observation: after fine-tuning every ``P_Φ`` is at least as high as before,
+and the empirical ranking agrees with the formal-verification ranking.
+"""
+
+import numpy as np
+
+from repro.driving import core_specifications, training_tasks
+from repro.errors import AlignmentError
+from repro.feedback import trace_satisfaction
+from repro.glm2fsa import build_controller_from_text
+from repro.lm import format_prompt, sample_responses
+from repro.sim import SimulationGrounding
+
+from conftest import print_table
+
+ROLLOUTS_PER_CONTROLLER = 12
+TASK_COUNT = 4
+
+
+def _collect_satisfaction(pipeline, model, tokenizer, specs, seed):
+    """Pool P_Φ over several tasks' sampled controllers for one model."""
+    per_spec = {name: [] for name in specs}
+    for task in training_tasks()[:TASK_COUNT]:
+        prompt = format_prompt(task)
+        responses = sample_responses(model, tokenizer, prompt, 2, seed=seed, temperature=0.9, top_k=20)
+        grounding = SimulationGrounding(task.scenario, max_steps=25)
+        for response in responses:
+            try:
+                controller = build_controller_from_text(response, task=task.name)
+            except AlignmentError:
+                for name in specs:
+                    per_spec[name].append(0.0)
+                continue
+            traces = grounding(controller, ROLLOUTS_PER_CONTROLLER, seed=seed)
+            satisfaction = trace_satisfaction(specs, traces)
+            for name, value in satisfaction.items():
+                per_spec[name].append(value)
+    return {name: float(np.mean(values)) for name, values in per_spec.items()}
+
+
+def test_fig11_empirical_satisfaction_before_vs_after(benchmark, dpoaf_run):
+    pipeline, result = dpoaf_run
+    tokenizer = result.pretrain_result.tokenizer
+    specs = core_specifications()
+
+    def run():
+        before = _collect_satisfaction(pipeline, result.dpo_result.reference, tokenizer, specs, seed=11)
+        after = _collect_satisfaction(pipeline, result.dpo_result.policy, tokenizer, specs, seed=11)
+        return before, after
+
+    before, after = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [(name, before[name], after[name]) for name in specs]
+    print_table("Figure 11 — P_Φ during simulated operation", ["specification", "before", "after"], rows)
+
+    improvements = sum(1 for name in specs if after[name] >= before[name] - 0.05)
+    assert improvements >= 4, "after fine-tuning, (almost) every specification should be satisfied at least as often"
+    assert np.mean(list(after.values())) > np.mean(list(before.values()))
+
+
+def test_consistency_between_formal_and_empirical_feedback(benchmark, dpoaf_run):
+    """Section 5.2: empirical evaluation is a substitute for formal verification."""
+    pipeline, result = dpoaf_run
+    specs = core_specifications()
+
+    from repro.driving import response_templates, task_by_name
+    from repro.feedback import EmpiricalEvaluator, FormalVerifier
+
+    task = task_by_name("turn_right_traffic_light")
+    responses = list(response_templates(task.name, "compliant")[:2]) + list(response_templates(task.name, "flawed")[:2])
+
+    def run():
+        verifier = FormalVerifier(specs)
+        formal_scores = [verifier.verify_response(task.model(), r, task=task.name).num_satisfied for r in responses]
+        evaluator = EmpiricalEvaluator(specs, SimulationGrounding(task.scenario, max_steps=25), threshold=0.9)
+        empirical_scores = []
+        for response in responses:
+            controller = build_controller_from_text(response, task=task.name)
+            empirical_scores.append(evaluator.evaluate_controller(controller, num_traces=15, seed=3).mean_satisfaction)
+        return formal_scores, empirical_scores
+
+    formal_scores, empirical_scores = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        (f"response_{i}", formal_scores[i], empirical_scores[i])
+        for i in range(len(responses))
+    ]
+    print_table("Formal vs empirical feedback (right-turn responses)", ["response", "formal (of 5)", "empirical mean P_Φ"], rows)
+
+    # The two feedback channels must agree on which responses are best:
+    # compliant responses (indices 0, 1) beat flawed ones (indices 2, 3).
+    assert min(formal_scores[:2]) >= max(formal_scores[2:])
+    assert min(empirical_scores[:2]) >= max(empirical_scores[2:]) - 0.05

@@ -1,0 +1,74 @@
+"""Figures 12 and 13: vision-model consistency across simulation and reality.
+
+Figure 12: confidence-accuracy calibration of the simulated detector on the
+simulation-domain and real-domain synthetic datasets, per object category and
+overall — the curves must coincide (the sim-to-real transfer argument).
+
+Figure 13: detection accuracy under different weather/lighting conditions in
+both domains (a quantitative stand-in for the paper's qualitative image grid).
+"""
+
+from repro.perception import (
+    CATEGORIES,
+    SimulatedDetector,
+    WEATHER_CONDITIONS,
+    compare_domains,
+    detection_accuracy,
+    generate_dataset,
+)
+
+from conftest import print_table
+
+SCENES_PER_DOMAIN = 600
+
+
+def test_fig12_confidence_accuracy_calibration(benchmark):
+    detector = SimulatedDetector()
+
+    def run():
+        scenes = generate_dataset("simulation", SCENES_PER_DOMAIN, seed=0) + generate_dataset(
+            "real", SCENES_PER_DOMAIN, seed=1
+        )
+        detections = detector.detect_dataset(scenes, seed=2)
+        return compare_domains(detections)
+
+    comparison = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    for category in ("overall", *CATEGORIES):
+        sim = comparison.curve("simulation", category)
+        real = comparison.curve("real", category)
+        rows = [
+            (center, sim_smooth, real_smooth)
+            for center, sim_smooth, real_smooth in zip(sim.bin_centers, sim.smoothed, real.smoothed)
+        ]
+        print_table(
+            f"Figure 12 — confidence vs accuracy ({category}); smoothed estimation",
+            ["confidence", "simulation", "real"],
+            rows,
+        )
+
+    assert comparison.is_consistent(tolerance=0.15), (
+        "the detector must behave consistently in simulation and reality "
+        f"(gaps: {[round(comparison.max_gap(c), 3) for c in ('overall', *CATEGORIES)]})"
+    )
+
+
+def test_fig13_weather_conditions(benchmark):
+    detector = SimulatedDetector()
+
+    def run():
+        rows = []
+        for weather in WEATHER_CONDITIONS:
+            sim = detector.detect_dataset(generate_dataset("simulation", 250, weather=weather, seed=0), seed=1)
+            real = detector.detect_dataset(generate_dataset("real", 250, weather=weather, seed=2), seed=3)
+            rows.append((weather, detection_accuracy(sim), detection_accuracy(real)))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("Figure 13 — detection accuracy per weather condition", ["weather", "simulation", "real"], rows)
+
+    accuracy = {weather: (sim, real) for weather, sim, real in rows}
+    # Degraded conditions hurt both domains, and the domains stay close.
+    assert accuracy["night"][0] < accuracy["sunny"][0]
+    assert accuracy["night"][1] < accuracy["sunny"][1]
+    assert all(abs(sim - real) < 0.2 for _, sim, real in rows)

@@ -1,0 +1,61 @@
+"""Figures 7 and 18: controllers before/after fine-tuning and their verification.
+
+Regenerates the Section 5.1 demonstration: the pre-fine-tuning right-turn
+controller violates Φ5 (with the red-light/car-from-left counter-example), the
+post-fine-tuning controller satisfies it; the pre-fine-tuning left-turn
+controller violates Φ12/Φ2-style protected-turn rules, the post-fine-tuning
+one does not.
+"""
+
+from repro.driving import all_specifications, response_templates, task_by_name
+from repro.feedback import FormalVerifier
+
+from conftest import print_table
+
+
+def _verify(task_name: str, category: str, index: int) -> tuple:
+    task = task_by_name(task_name)
+    verifier = FormalVerifier(all_specifications())
+    response = response_templates(task_name, category)[index]
+    feedback = verifier.verify_response(task.model(), response, task=f"{task_name}/{category}")
+    return feedback.num_satisfied, feedback.violated
+
+
+def test_fig7_right_turn_before_vs_after(benchmark):
+    def run():
+        before = _verify("turn_right_traffic_light", "flawed", 0)      # the paper's Figure-7-left response
+        after = _verify("turn_right_traffic_light", "compliant", 2)    # the paper's Figure-7-right response
+        return before, after
+
+    (before, after) = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Figure 7 — right turn at the traffic light (15 specifications)",
+        ["controller", "satisfied", "violated"],
+        [
+            ["before fine-tuning", before[0], ", ".join(before[1])],
+            ["after fine-tuning", after[0], ", ".join(after[1]) or "-"],
+        ],
+    )
+    assert "phi_5" in before[1], "the pre-fine-tuning controller must fail Φ5 (Section 5.1)"
+    assert "phi_5" not in after[1]
+    assert after[0] > before[0]
+
+
+def test_fig18_left_turn_before_vs_after(benchmark):
+    def run():
+        before = _verify("turn_left_protected", "flawed", 0)           # the paper's Appendix-C response
+        after = _verify("turn_left_protected", "compliant", 0)         # the paper's Figure-18-right response
+        return before, after
+
+    (before, after) = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Figure 18 — protected left turn (15 specifications)",
+        ["controller", "satisfied", "violated"],
+        [
+            ["before fine-tuning", before[0], ", ".join(before[1])],
+            ["after fine-tuning", after[0], ", ".join(after[1]) or "-"],
+        ],
+    )
+    assert set(before[1]) & {"phi_2", "phi_12"}, "the pre-fine-tuning left turn must violate a protected-turn rule"
+    assert not set(after[1]) & {"phi_2", "phi_12"}
+    assert after[0] > before[0]

@@ -1,0 +1,56 @@
+"""Figure 9 and the headline claim.
+
+Figure 9: number of satisfied specifications (out of 15) versus DPO epoch for
+training and validation tasks, evaluated by sampling responses from every
+stored checkpoint and model-checking the induced controllers.
+
+Headline (abstract / Section 1): the percentage of specifications satisfied by
+the controller improves from ~60% before fine-tuning to ≥90% after.
+"""
+
+from conftest import print_table
+
+
+def test_fig9_specifications_vs_epoch(benchmark, dpoaf_run):
+    pipeline, result = dpoaf_run
+
+    def collect():
+        rows = []
+        for epoch in sorted(result.checkpoint_evaluations):
+            evaluation = result.checkpoint_evaluations[epoch]
+            rows.append((epoch, evaluation.mean_satisfied("train"), evaluation.mean_satisfied("validation")))
+        return rows
+
+    rows = benchmark.pedantic(collect, rounds=1, iterations=1)
+    print_table(
+        "Figure 9 — satisfied specifications (of 15) vs DPO epoch",
+        ["epoch", "train", "validation"],
+        rows,
+    )
+    first_train, last_train = rows[0][1], rows[-1][1]
+    first_val, last_val = rows[0][2], rows[-1][2]
+    assert last_train > first_train, "training-task satisfaction must increase with fine-tuning"
+    assert last_val > first_val, "validation-task satisfaction must increase with fine-tuning"
+    assert last_train >= 12.0, "fine-tuned model should satisfy most of the 15 specifications on training tasks"
+
+
+def test_headline_60_to_90_percent(benchmark, dpoaf_run):
+    pipeline, result = dpoaf_run
+
+    def collect():
+        before = result.before_evaluation.satisfaction_ratio()
+        after = result.after_evaluation.satisfaction_ratio()
+        return before, after
+
+    before, after = benchmark.pedantic(collect, rounds=1, iterations=1)
+    print_table(
+        "Headline — fraction of specifications satisfied (all tasks)",
+        ["stage", "satisfaction"],
+        [["before fine-tuning", before], ["after fine-tuning", after]],
+    )
+    # Paper: ~60% before, >90% after.  The shape must hold: a large improvement
+    # ending close to full satisfaction; absolute numbers may differ by a few
+    # points because the substrate model and corpus are synthetic.
+    assert 0.45 <= before <= 0.80, f"pre-fine-tuning satisfaction {before:.2f} should sit near the paper's ~60%"
+    assert after >= 0.85, f"post-fine-tuning satisfaction {after:.2f} should reach the paper's ~90%"
+    assert after - before >= 0.15, "fine-tuning must deliver a substantial improvement"

@@ -1,0 +1,58 @@
+"""Graphviz DOT export for models, controllers, and Kripke structures.
+
+The exports are text-only (no graphviz dependency): they produce ``.dot``
+source a user can render offline, matching the figures in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.automata.alphabet import format_symbol
+from repro.automata.fsa import FSAController
+from repro.automata.kripke import KripkeStructure
+from repro.automata.transition_system import TransitionSystem
+
+
+def _quote(text: str) -> str:
+    return '"' + str(text).replace('"', '\\"') + '"'
+
+
+def transition_system_to_dot(model: TransitionSystem) -> str:
+    """Render a world model as DOT (states labeled with their propositions)."""
+    lines = [f"digraph {_quote(model.name)} {{", "  rankdir=LR;"]
+    for state in model.states:
+        shape = "doublecircle" if state in model.initial_states else "circle"
+        label = f"{state}\\n{format_symbol(model.label(state))}"
+        lines.append(f"  {_quote(state)} [shape={shape}, label={_quote(label)}];")
+    for src, dst in model.transitions():
+        lines.append(f"  {_quote(src)} -> {_quote(dst)};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def controller_to_dot(controller: FSAController) -> str:
+    """Render an FSA controller as DOT (edges labeled ``guard / action``)."""
+    lines = [f"digraph {_quote(controller.name)} {{", "  rankdir=LR;"]
+    for state in controller.states:
+        shape = "doublecircle" if state == controller.initial_state else "circle"
+        lines.append(f"  {_quote(state)} [shape={shape}];")
+    for t in controller.transitions:
+        label = f"{t.guard} / {format_symbol(t.action)}"
+        lines.append(f"  {_quote(t.source)} -> {_quote(t.target)} [label={_quote(label)}];")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def kripke_to_dot(kripke: KripkeStructure, limit: int = 200) -> str:
+    """Render a Kripke structure as DOT; truncated past ``limit`` states."""
+    lines = [f"digraph {_quote(kripke.name)} {{", "  rankdir=LR;"]
+    states = kripke.states[:limit]
+    state_set = set(states)
+    for state in states:
+        shape = "doublecircle" if state in kripke.initial_states else "circle"
+        label = f"{state}\\n{format_symbol(kripke.label(state))}"
+        lines.append(f"  {_quote(state)} [shape={shape}, label={_quote(label)}];")
+    for src, dst in kripke.transitions():
+        if src in state_set and dst in state_set:
+            lines.append(f"  {_quote(src)} -> {_quote(dst)};")
+    lines.append("}")
+    return "\n".join(lines)

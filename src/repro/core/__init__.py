@@ -1,0 +1,33 @@
+"""The DPO-AF pipeline: configuration, prompting, orchestration, persistence."""
+
+from repro.core.checkpoints import load_model, save_model
+from repro.core.config import (
+    FeedbackConfig,
+    PipelineConfig,
+    SamplingConfig,
+    paper_scale_config,
+    quick_pipeline_config,
+)
+from repro.core.pipeline import DPOAFPipeline, ModelEvaluation, PipelineResult, TaskEvaluation
+from repro.core.prompting import LLAMA2_SYSTEM_MESSAGE, alignment_prompt, llama2_chat_prompt, steps_prompt
+from repro.core.system_model import conservative_driving_model, pruned_driving_model
+
+__all__ = [
+    "load_model",
+    "save_model",
+    "FeedbackConfig",
+    "PipelineConfig",
+    "SamplingConfig",
+    "paper_scale_config",
+    "quick_pipeline_config",
+    "DPOAFPipeline",
+    "ModelEvaluation",
+    "PipelineResult",
+    "TaskEvaluation",
+    "LLAMA2_SYSTEM_MESSAGE",
+    "alignment_prompt",
+    "llama2_chat_prompt",
+    "steps_prompt",
+    "conservative_driving_model",
+    "pruned_driving_model",
+]

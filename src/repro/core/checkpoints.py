@@ -1,0 +1,57 @@
+"""Saving and loading pipeline artifacts (model weights, tokenizer, metrics)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.lm.tokenizer import Tokenizer
+from repro.lm.transformer import ModelConfig, TransformerLM
+
+
+def save_model(model: TransformerLM, tokenizer: Tokenizer, directory: str | Path) -> Path:
+    """Persist weights (``.npz``), model config and tokenizer (``.json``)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    state = model.state_dict()
+    np.savez_compressed(directory / "weights.npz", **state)
+    config = {
+        "vocab_size": model.config.vocab_size,
+        "max_seq_len": model.config.max_seq_len,
+        "dim": model.config.dim,
+        "num_heads": model.config.num_heads,
+        "num_layers": model.config.num_layers,
+        "hidden_dim": model.config.hidden_dim,
+    }
+    (directory / "config.json").write_text(json.dumps(config, indent=2))
+    (directory / "tokenizer.json").write_text(json.dumps(tokenizer.to_dict(), indent=2))
+    return directory
+
+
+def load_model(directory: str | Path) -> tuple:
+    """Load ``(model, tokenizer)`` previously written by :func:`save_model`.
+
+    Note: LoRA adapters are merged or absent in saved checkpoints; a freshly
+    loaded model has plain linear layers.
+    """
+    directory = Path(directory)
+    config_path = directory / "config.json"
+    weights_path = directory / "weights.npz"
+    tokenizer_path = directory / "tokenizer.json"
+    for path in (config_path, weights_path, tokenizer_path):
+        if not path.exists():
+            raise TrainingError(f"checkpoint file missing: {path}")
+    config = ModelConfig(**json.loads(config_path.read_text()))
+    model = TransformerLM(config, seed=0)
+    with np.load(weights_path) as payload:
+        state = {key: payload[key] for key in payload.files}
+    # Saved checkpoints may include LoRA parameters; attach adapters on demand.
+    if any(".lora_a" in key for key in state):
+        rank = next(value.shape[1] for key, value in state.items() if key.endswith(".lora_a"))
+        model.add_lora_adapters(int(rank))
+    model.load_state_dict(state)
+    tokenizer = Tokenizer.from_dict(json.loads(tokenizer_path.read_text()))
+    return model, tokenizer

@@ -1,0 +1,40 @@
+"""Prompt templates (Section 4.1 and Appendix E).
+
+The numpy language model consumes the plain ``Steps for "<task>" :`` prompt
+produced by :func:`repro.lm.corpus.format_prompt`; the functions here also
+provide the exact prompt texts the paper uses with Llama-2 — the two-stage
+query (steps, then alignment) and the Llama-2 chat wrapper with its special
+tokens — so a user with a real Llama-2 checkpoint can reuse the pipeline
+unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+#: The default system message of Appendix E.
+LLAMA2_SYSTEM_MESSAGE = (
+    "You are a helpful assistant. Always answer as helpfully as possible, "
+    "while being safe. Your answers should be detailed."
+)
+
+
+def steps_prompt(task_description: str) -> str:
+    """The first-stage query: ask for numbered steps (Section 4.1)."""
+    return f'Steps for "{task_description}":\n1.'
+
+
+def alignment_prompt(steps: Iterable[str], propositions: Iterable[str], actions: Iterable[str]) -> str:
+    """The second-stage query: align steps to the defined propositions/actions."""
+    proposition_list = ", ".join(sorted(propositions))
+    action_list = ", ".join(sorted(actions))
+    numbered = "\n".join(f"{i + 1}. {step}" for i, step in enumerate(steps))
+    return (
+        "Rephrase the following steps to align the defined Boolean Propositions "
+        f"{{{proposition_list}}} and Actions {{{action_list}}}:\n{numbered}\n"
+    )
+
+
+def llama2_chat_prompt(user_message: str, system_message: str = LLAMA2_SYSTEM_MESSAGE) -> str:
+    """Wrap a user message in Llama-2's chat format (Appendix E special tokens)."""
+    return f"<s>[INST] <<SYS>>\n{system_message}\n<</SYS>>\n\n{user_message} [/INST]"

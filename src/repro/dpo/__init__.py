@@ -1,0 +1,20 @@
+"""Direct preference optimization: dataset encoding, loss, trainer, metrics."""
+
+from repro.dpo.dataset import DPODataset, EncodedPair
+from repro.dpo.loss import DPOBatchMetrics, dpo_step, sigmoid
+from repro.dpo.metrics import MultiSeedCurves, TrainingHistory
+from repro.dpo.trainer import DPOConfig, DPOResult, DPOTrainer, run_dpo
+
+__all__ = [
+    "DPODataset",
+    "EncodedPair",
+    "DPOBatchMetrics",
+    "dpo_step",
+    "sigmoid",
+    "MultiSeedCurves",
+    "TrainingHistory",
+    "DPOConfig",
+    "DPOResult",
+    "DPOTrainer",
+    "run_dpo",
+]

@@ -1,0 +1,110 @@
+"""The direct-preference-optimization objective (Rafailov et al., 2023).
+
+For a preference pair ``(x, y_w, y_l)`` the DPO loss is::
+
+    L = -log σ( β [ (log π(y_w|x) - log π_ref(y_w|x))
+                  - (log π(y_l|x) - log π_ref(y_l|x)) ] )
+
+The three reported metrics follow Section 5.2 of the paper:
+
+* **loss** — the mean of ``L`` over the batch,
+* **accuracy** — how often the policy assigns the preferred response a higher
+  likelihood than the rejected one, ``I(P(y_w|x,θ) > P(y_l|x,θ))``,
+* **marginal preference** — the mean of the bracketed margin (0 = indifferent,
+  positive = prefers the chosen response more than the reference model does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.lm.transformer import TransformerLM
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    x = np.asarray(x, dtype=np.float64)
+    out = np.empty_like(x)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    exp_x = np.exp(x[~positive])
+    out[~positive] = exp_x / (1.0 + exp_x)
+    return out
+
+
+@dataclass(frozen=True)
+class DPOBatchMetrics:
+    """Metrics of one DPO step."""
+
+    loss: float
+    accuracy: float
+    marginal_preference: float
+    chosen_log_prob: float
+    rejected_log_prob: float
+
+    def as_dict(self) -> dict:
+        return {
+            "loss": self.loss,
+            "accuracy": self.accuracy,
+            "marginal_preference": self.marginal_preference,
+            "chosen_log_prob": self.chosen_log_prob,
+            "rejected_log_prob": self.rejected_log_prob,
+        }
+
+
+def dpo_step(
+    policy: TransformerLM,
+    reference: TransformerLM,
+    batch: dict,
+    *,
+    beta: float = 0.5,
+    backward: bool = True,
+) -> DPOBatchMetrics:
+    """Compute the DPO loss for one batch and (optionally) accumulate gradients.
+
+    The gradient of the loss with respect to the policy's per-sequence
+    log-probability is ``-β σ(-βh)/B`` for the chosen response and the opposite
+    sign for the rejected response, where ``h`` is the preference margin.
+    Because the model's layer caches are overwritten by every forward pass,
+    each branch's backward closure is invoked before the next forward runs.
+    """
+    chosen_tokens, chosen_mask = batch["chosen_tokens"], batch["chosen_mask"]
+    rejected_tokens, rejected_mask = batch["rejected_tokens"], batch["rejected_mask"]
+
+    # Reference (frozen) log-probabilities — never receive gradients.
+    ref_chosen = reference.sequence_log_probs(chosen_tokens, chosen_mask)
+    ref_rejected = reference.sequence_log_probs(rejected_tokens, rejected_mask)
+
+    # Policy log-probability of the rejected responses, without gradients, so
+    # the preference margin (and hence the per-sequence loss coefficients) can
+    # be computed before any backward pass.
+    policy_rejected = policy.sequence_log_probs(rejected_tokens, rejected_mask)
+
+    if backward:
+        policy_chosen, chosen_backward = policy.sequence_log_probs_with_grad(chosen_tokens, chosen_mask)
+    else:
+        policy_chosen = policy.sequence_log_probs(chosen_tokens, chosen_mask)
+        chosen_backward = None
+
+    margin = (policy_chosen - ref_chosen) - (policy_rejected - ref_rejected)
+    h = beta * margin
+    losses = -np.log(np.clip(sigmoid(h), 1e-12, None))
+    batch_size = h.shape[0]
+    coefficient = sigmoid(-h) * beta / batch_size
+
+    if backward:
+        # Chosen branch: caches are still valid from the forward above.
+        chosen_backward(-coefficient)
+        # Rejected branch: re-run the forward with gradients, then backpropagate.
+        _, rejected_backward = policy.sequence_log_probs_with_grad(rejected_tokens, rejected_mask)
+        rejected_backward(coefficient)
+
+    return DPOBatchMetrics(
+        loss=float(np.mean(losses)),
+        accuracy=float(np.mean(policy_chosen > policy_rejected)),
+        marginal_preference=float(np.mean(margin)),
+        chosen_log_prob=float(np.mean(policy_chosen)),
+        rejected_log_prob=float(np.mean(policy_rejected)),
+    )

@@ -1,0 +1,66 @@
+"""The autonomous-driving vocabulary from Section 5.1 of the paper.
+
+The propositions describe what the ego vehicle can observe; the actions are
+the high-level control outputs.  The extra proposition ``pedestrian`` (used by
+specification Φ1) abstracts "any pedestrian is present"; world models and the
+simulator include it in a state label whenever any ``pedestrian_at_*``
+proposition holds.
+"""
+
+from __future__ import annotations
+
+from repro.automata.alphabet import Symbol, Vocabulary, make_symbol
+
+#: Environment propositions P (Section 5.1).
+DRIVING_PROPOSITIONS: tuple = (
+    "green_traffic_light",
+    "green_left_turn_light",
+    "flashing_left_turn_light",
+    "opposite_car",
+    "car_from_left",
+    "car_from_right",
+    "pedestrian_at_left",
+    "pedestrian_at_right",
+    "pedestrian_in_front",
+    "stop_sign",
+    "pedestrian",  # derived: any pedestrian_at_* / pedestrian_in_front holds
+)
+
+#: Controller actions PA (Section 5.1).
+DRIVING_ACTIONS: tuple = (
+    "stop",
+    "turn_left",
+    "turn_right",
+    "go_straight",
+)
+
+#: Propositions that imply the derived ``pedestrian`` proposition.
+PEDESTRIAN_PROPOSITIONS: tuple = (
+    "pedestrian_at_left",
+    "pedestrian_at_right",
+    "pedestrian_in_front",
+)
+
+#: The shared driving vocabulary used by models, controllers and the simulator.
+DRIVING_VOCABULARY = Vocabulary(
+    propositions=frozenset(DRIVING_PROPOSITIONS),
+    actions=frozenset(DRIVING_ACTIONS),
+)
+
+
+def with_derived_propositions(propositions) -> Symbol:
+    """Return a symbol with the derived ``pedestrian`` proposition filled in."""
+    symbol = set(make_symbol(propositions))
+    if symbol & set(PEDESTRIAN_PROPOSITIONS):
+        symbol.add("pedestrian")
+    return frozenset(symbol)
+
+
+def is_action(name: str) -> bool:
+    """True if ``name`` is one of the four driving actions."""
+    return DRIVING_VOCABULARY.is_action(name)
+
+
+def is_proposition(name: str) -> bool:
+    """True if ``name`` is one of the driving propositions."""
+    return DRIVING_VOCABULARY.is_proposition(name)

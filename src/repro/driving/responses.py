@@ -1,0 +1,354 @@
+"""Template step-by-step responses for every driving task.
+
+These templates play three roles in the reproduction:
+
+1. **Synthetic pre-training corpus.**  The "pre-trained" language model of the
+   paper (Llama2-7B) already knows how to produce numbered driving
+   instructions of mixed quality.  Our numpy language model acquires the same
+   behaviour by being pre-trained on a corpus sampled from these templates
+   with a quality mixture matching the paper's ~60% pre-fine-tuning
+   specification satisfaction.
+2. **Reference behaviours for calibration and tests.**  Each template has a
+   known compliance category, so unit tests can assert that the verification
+   feedback orders categories correctly (compliant > flawed > vague).
+3. **Sampling fallback.**  Benchmarks that do not need a trained model can
+   sample responses directly from the category mixture to emulate the
+   pre-/post-fine-tuning response distributions.
+
+Categories
+----------
+``compliant``
+    Responses whose induced controllers satisfy (nearly) all 15 rules.
+``flawed``
+    Plausible but rule-violating responses: missing checks, acting on the
+    wrong condition, or skipping the mandatory stop — the behaviours the
+    paper's pre-fine-tuning Llama2 exhibits (e.g. the Figure 7 left
+    controller, which fails Φ5).
+``vague``
+    Unalignable chatter ("drive carefully and use your best judgment") that
+    cannot be compiled into a controller at all; the paper lists making
+    outputs alignable as an explicit fine-tuning goal.
+"""
+
+from __future__ import annotations
+
+from repro.utils.rng import seeded_rng
+
+#: Vague responses are task-independent.
+VAGUE_RESPONSES: tuple = (
+    "1. Drive carefully and stay alert at all times.\n"
+    "2. Use your best judgment in traffic.\n"
+    "3. Follow the local rules of the road.",
+    "1. Slow down a little near the intersection.\n"
+    "2. Be mindful of the surroundings.\n"
+    "3. Continue on your route once comfortable.",
+    "1. Make sure the vehicle is in good condition.\n"
+    "2. Keep both hands on the wheel.\n"
+    "3. Be courteous to other drivers.",
+    "1. Stay calm while driving.\n"
+    "2. Pay attention to everything around you.",
+)
+
+#: Per-task response templates.  Keys are task names from ``repro.driving.tasks``.
+RESPONSE_LIBRARY: dict = {
+    "turn_right_traffic_light": {
+        "compliant": (
+            "1. Observe the traffic light.\n"
+            "2. If the traffic light is not green, stop.\n"
+            "3. If there is no car from the left and no pedestrian, turn right.",
+            "1. Check the traffic light ahead.\n"
+            "2. If there is a pedestrian, stop.\n"
+            "3. If there is no car from the left and no pedestrian at right, turn right.",
+            "1. Observe the traffic light in front of you.\n"
+            "2. Check for the left approaching car and right side pedestrian.\n"
+            "3. If no car from the left is approaching and no pedestrian on the right, proceed to turn right.",
+        ),
+        "flawed": (
+            # The paper's pre-fine-tuning response (Figure 7 left): the final
+            # turn is not re-guarded, so the Φ5 edge case slips through.
+            "1. Look straight ahead and watch for the traffic light.\n"
+            "2. If the traffic light turns green, start moving forward.\n"
+            "3. As you approach the intersection, look to your left for oncoming traffic.\n"
+            "4. If there is no traffic from your left, check pedestrians on your right.\n"
+            "5. If it is safe, turn your vehicle right.",
+            "1. If the traffic light is green, go straight.\n"
+            "2. Turn right at the corner.",
+            "1. Slow down near the intersection.\n"
+            "2. Turn right.",
+            "1. Watch for the green light.\n"
+            "2. If the green light is on, turn right without delay.",
+        ),
+    },
+    "go_straight_traffic_light": {
+        "compliant": (
+            "1. Observe the traffic light.\n"
+            "2. If the traffic light is not green, stop.\n"
+            "3. If there is a pedestrian in front, stop.\n"
+            "4. If the green traffic light is on and there is no pedestrian in front, go straight.",
+            "1. Check the traffic light.\n"
+            "2. If there is a pedestrian in front, stop.\n"
+            "3. If the traffic light is green and no pedestrian in front, go straight.",
+            "1. Observe the traffic light and the crosswalk.\n"
+            "2. If the traffic light is not green, stop.\n"
+            "3. If the green traffic light is on and there is no pedestrian in front, go straight.",
+        ),
+        "flawed": (
+            "1. Go straight through the intersection.",
+            "1. Check the traffic light.\n"
+            "2. Go straight and keep your speed.",
+            "1. If there is no car ahead, go straight.\n"
+            "2. Keep moving through the intersection.",
+            "1. Accelerate when the light changes.\n"
+            "2. Go straight.",
+        ),
+    },
+    "turn_left_protected": {
+        "compliant": (
+            "1. Approach the traffic light and observe the left turn light.\n"
+            "2. If the left turn light is not green, stop.\n"
+            "3. If the left turn light is green, turn left.",
+            "1. Observe the left turn light.\n"
+            "2. If the green left turn light is off, stop.\n"
+            "3. If the green left turn light is on and there is no pedestrian, turn left.",
+            "1. Observe the left turn light.\n"
+            "2. If there is a pedestrian, stop.\n"
+            "3. If the left turn light is green and there is no opposite car, turn left.",
+        ),
+        "flawed": (
+            # The paper's pre-fine-tuning left-turn response (fails Φ12).
+            "1. Approach the traffic light with a left-turn light.\n"
+            "2. Wait for the left-turn light to turn green.\n"
+            "3. When the left-turn light turns green, wait for oncoming traffic to clear before turning left.\n"
+            "4. Turn left and proceed through the intersection.",
+            "1. If there is no oncoming traffic, turn left.",
+            "1. Turn left at the intersection.",
+            "1. Watch the traffic light.\n"
+            "2. Turn left when you feel it is safe.",
+        ),
+    },
+    "stop_sign_go_straight": {
+        "compliant": (
+            "1. Stop at the stop sign.\n"
+            "2. Check the car from the left and the car from the right.\n"
+            "3. If there is no car from the left and no car from the right and no pedestrian in front, go straight.",
+            "1. Come to a complete stop at the stop sign.\n"
+            "2. If there is a pedestrian in front, stop.\n"
+            "3. If there is no car from the left and no car from the right, go straight.",
+            "1. Stop at the stop sign.\n"
+            "2. If there is no car from the left and no car from the right and no pedestrian, go straight.",
+        ),
+        "flawed": (
+            "1. Slow down at the stop sign.\n"
+            "2. Go straight through the intersection.",
+            "1. Go straight at the stop sign.",
+            "1. Stop at the stop sign.\n"
+            "2. Go straight.",
+            "1. If there is no car from the left, go straight.",
+        ),
+    },
+    "turn_right_stop_sign": {
+        "compliant": (
+            "1. Stop at the stop sign.\n"
+            "2. If there is no car from the left and no pedestrian, turn right.",
+            "1. Come to a complete stop at the stop sign.\n"
+            "2. Check the car from the left and the pedestrian on the right.\n"
+            "3. If there is no car from the left and no pedestrian at right, turn right.",
+            "1. Stop at the stop sign.\n"
+            "2. If there is a pedestrian, stop.\n"
+            "3. If there is no car from the left and no pedestrian, turn right.",
+        ),
+        "flawed": (
+            "1. Turn right at the stop sign.",
+            "1. Slow down at the stop sign.\n"
+            "2. Turn right.",
+            "1. If there is no car from the right, turn right.",
+            "1. Watch for the stop sign.\n"
+            "2. Turn right quickly.",
+        ),
+    },
+    "enter_roundabout": {
+        "compliant": (
+            "1. Observe the car from the left and the pedestrian.\n"
+            "2. If there is a pedestrian in front, stop.\n"
+            "3. If there is no car from the left and no pedestrian, go straight.",
+            "1. Check the traffic circulating from the left.\n"
+            "2. If there is no car from the left and no pedestrian, go straight.",
+            "1. If there is a pedestrian, stop.\n"
+            "2. If there is no car from the left and no pedestrian, go straight.",
+        ),
+        "flawed": (
+            "1. Enter the roundabout.",
+            "1. Go straight into the roundabout.",
+            "1. Slow down slightly.\n"
+            "2. Go straight into the roundabout without stopping.",
+            "1. If there is no car from the right, go straight.",
+        ),
+    },
+    "cross_wide_median": {
+        "compliant": (
+            "1. Observe the car from the left and the car from the right.\n"
+            "2. If there is a pedestrian in front, stop.\n"
+            "3. If there is no car from the left and no car from the right and no pedestrian, go straight.",
+            "1. If there is a pedestrian in front, stop.\n"
+            "2. If there is no car from the left and no car from the right, go straight.",
+            "1. Check the car from the left and the car from the right.\n"
+            "2. If there is no car from the left and no car from the right and no pedestrian in front, go straight.",
+        ),
+        "flawed": (
+            "1. Go straight across the median.",
+            "1. If there is no car from the left, go straight.",
+            "1. Cross the intersection.\n"
+            "2. Keep moving until you reach the other side.",
+            "1. Accelerate and go straight.",
+        ),
+    },
+    "yield_crosswalk": {
+        "compliant": (
+            "1. Observe the crosswalk and the traffic light.\n"
+            "2. If there is a pedestrian in front, stop.\n"
+            "3. If the traffic light is not green, stop.\n"
+            "4. If the green traffic light is on and there is no pedestrian, go straight.",
+            "1. If there is a pedestrian, stop.\n"
+            "2. If the traffic light is green and there is no pedestrian in front, go straight.",
+            "1. Observe the pedestrian in front and the traffic light.\n"
+            "2. If there is a pedestrian in front, stop.\n"
+            "3. If the traffic light is green and no pedestrian in front, go straight.",
+        ),
+        "flawed": (
+            "1. Go straight through the crosswalk.",
+            "1. Slow down at the crosswalk.\n"
+            "2. Keep moving through the crosswalk.",
+            "1. If the traffic light is green, go straight.",
+            "1. Honk to warn pedestrians.\n"
+            "2. Go straight.",
+        ),
+    },
+    "turn_left_unprotected": {
+        "compliant": (
+            "1. Observe the left turn light and the oncoming traffic.\n"
+            "2. If there is a pedestrian, stop.\n"
+            "3. If the left turn light is green and there is no opposite car, turn left.",
+            "1. Observe the left turn light.\n"
+            "2. If the left turn light is not green, stop.\n"
+            "3. If the left turn light is green, turn left.",
+            "1. If the green left turn light is off, stop.\n"
+            "2. If the green left turn light is on and there is no opposite car and no pedestrian, turn left.",
+        ),
+        "flawed": (
+            "1. Turn left when there is a gap.",
+            "1. If there is no oncoming traffic, turn left.",
+            "1. Turn left at the intersection.",
+            "1. Wait a moment.\n"
+            "2. Turn left.",
+        ),
+    },
+    "turn_right_crosswalk": {
+        "compliant": (
+            "1. Observe the crosswalk.\n"
+            "2. If there is a pedestrian, stop.\n"
+            "3. If there is no pedestrian and no car from the left, turn right.",
+            "1. If there is a pedestrian in front, stop.\n"
+            "2. If there is no pedestrian at right and no car from the left, turn right.",
+            "1. Check the pedestrian on the right and the car from the left.\n"
+            "2. If there is no pedestrian and no car from the left, turn right.",
+        ),
+        "flawed": (
+            "1. Turn right at the crosswalk.",
+            "1. If the traffic light is green, turn right.",
+            "1. Slow down near the crosswalk.\n"
+            "2. Turn right.",
+            "1. Turn right when you see a gap.",
+        ),
+    },
+    "stop_sign_turn_left": {
+        "compliant": (
+            "1. Stop at the stop sign.\n"
+            "2. If there is a pedestrian, stop.\n"
+            "3. If there is no car from the left and no car from the right and no opposite car, turn left.",
+            "1. Come to a complete stop at the stop sign.\n"
+            "2. If there is no car from the left and no car from the right and no opposite car, turn left.",
+            "1. Stop at the stop sign.\n"
+            "2. Check the car from the left and the car from the right.\n"
+            "3. If there is no car from the left and no car from the right, turn left.",
+        ),
+        "flawed": (
+            "1. Turn left at the stop sign.",
+            "1. Slow down at the stop sign.\n"
+            "2. Turn left.",
+            "1. If there is no opposite car, turn left.",
+            "1. Watch for the stop sign.\n"
+            "2. Turn left when it looks clear.",
+        ),
+    },
+    "merge_after_median": {
+        "compliant": (
+            "1. Observe the car from the left and the car from the right.\n"
+            "2. If there is a pedestrian in front, stop.\n"
+            "3. If there is no car from the left and no car from the right, go straight.",
+            "1. If there is no car from the left and no car from the right and no pedestrian, go straight.",
+            "1. Check the car from the left and the car from the right.\n"
+            "2. If there is a pedestrian in front, stop.\n"
+            "3. If there is no car from the left and no car from the right and no pedestrian in front, go straight.",
+        ),
+        "flawed": (
+            "1. Go straight when the median ends.",
+            "1. If there is no car from the left, go straight.",
+            "1. Keep moving through the median opening.",
+            "1. Accelerate and go straight across.",
+        ),
+    },
+}
+
+#: Response categories in preference order (best first).
+CATEGORIES: tuple = ("compliant", "flawed", "vague")
+
+
+def response_templates(task_name: str, category: str) -> tuple:
+    """All templates of ``category`` for ``task_name`` (vague is shared)."""
+    if category == "vague":
+        return VAGUE_RESPONSES
+    try:
+        per_task = RESPONSE_LIBRARY[task_name]
+    except KeyError as exc:
+        raise KeyError(f"no response templates for task {task_name!r}") from exc
+    try:
+        return per_task[category]
+    except KeyError as exc:
+        raise KeyError(f"unknown response category {category!r}; known: {CATEGORIES}") from exc
+
+
+def sample_response(task_name: str, category: str, seed: int | None = None) -> str:
+    """Sample one template of the given category uniformly at random."""
+    rng = seeded_rng(seed)
+    templates = response_templates(task_name, category)
+    return templates[int(rng.integers(len(templates)))]
+
+
+def sample_mixture_response(
+    task_name: str,
+    weights: dict,
+    seed: int | None = None,
+) -> tuple:
+    """Sample ``(category, response)`` under a category mixture.
+
+    ``weights`` maps category name to probability mass (normalised here).
+    Used to emulate the pre- and post-fine-tuning response distributions when
+    a trained language model is not needed.
+    """
+    rng = seeded_rng(seed)
+    categories = list(weights)
+    mass = [max(0.0, float(weights[c])) for c in categories]
+    total = sum(mass)
+    if total <= 0:
+        raise ValueError(f"mixture weights must have positive mass, got {weights}")
+    probabilities = [m / total for m in mass]
+    category = categories[int(rng.choice(len(categories), p=probabilities))]
+    return category, sample_response(task_name, category, seed=rng)
+
+
+#: Mixture emulating the pre-trained (pre-fine-tuning) model's output quality.
+#: Calibrated so the expected specification satisfaction is ~60% (Section 1).
+PRETRAINED_MIXTURE: dict = {"compliant": 0.27, "flawed": 0.45, "vague": 0.28}
+
+#: Mixture emulating the fine-tuned model's output quality.
+FINETUNED_MIXTURE: dict = {"compliant": 0.86, "flawed": 0.11, "vague": 0.03}

@@ -1,0 +1,78 @@
+"""World model of an intersection with an explicit left-turn signal (Figure 15).
+
+States capture the left-turn-light colour together with oncoming traffic and
+pedestrians on the left — the observations that matter for the unprotected
+versus protected left-turn rules (Φ2, Φ12).
+"""
+
+from __future__ import annotations
+
+from repro.automata.transition_system import TransitionSystem, build_model_from_labels
+from repro.driving.propositions import DRIVING_VOCABULARY, with_derived_propositions
+
+_LABELS = {
+    "ll_green": ["green_left_turn_light"],
+    "ll_green_opposite": ["green_left_turn_light", "opposite_car"],
+    "ll_flashing": ["flashing_left_turn_light"],
+    "ll_red": [],
+    "ll_red_opposite": ["opposite_car"],
+    "ll_red_opposite_ped": ["opposite_car", "pedestrian_at_left"],
+    "ll_red_car_right": ["car_from_right"],
+    "ll_red_car_left": ["car_from_left"],
+    "ll_red_ped_left": ["pedestrian_at_left"],
+}
+
+_TRANSITIONS = [
+    # Protected green-arrow phase.
+    ("ll_green", "ll_green"),
+    ("ll_green", "ll_green_opposite"),
+    ("ll_green", "ll_flashing"),
+    ("ll_green", "ll_red"),
+    ("ll_green_opposite", "ll_green"),
+    ("ll_green_opposite", "ll_red_opposite"),
+    # Flashing arrow: yield phase.
+    ("ll_flashing", "ll_red"),
+    ("ll_flashing", "ll_red_opposite"),
+    ("ll_flashing", "ll_green"),
+    # Red phase: oncoming traffic, pedestrians and cross traffic come and go,
+    # but the arrow eventually turns green again (no red-only cycles).
+    ("ll_red", "ll_green"),
+    ("ll_red", "ll_green_opposite"),
+    ("ll_red_opposite", "ll_green"),
+    ("ll_red_opposite", "ll_green_opposite"),
+    ("ll_red_opposite_ped", "ll_red_opposite"),
+    ("ll_red_opposite_ped", "ll_green"),
+    ("ll_red_car_right", "ll_green"),
+    ("ll_red", "ll_red_car_right"),
+    ("ll_red", "ll_red_opposite_ped"),
+    # Cross traffic from the left and pedestrians near the turn path (used by
+    # the rules Φ1/Φ9/Φ12 when a controller turns without the green arrow).
+    ("ll_red", "ll_red_car_left"),
+    ("ll_red_car_left", "ll_green"),
+    ("ll_red_car_left", "ll_red_opposite"),
+    ("ll_red_ped_left", "ll_green"),
+    ("ll_red_ped_left", "ll_red_opposite"),
+    ("ll_green", "ll_red_ped_left"),
+]
+
+_INITIAL_STATES = [
+    "ll_green",
+    "ll_green_opposite",
+    "ll_red",
+    "ll_red_opposite",
+    "ll_red_opposite_ped",
+    "ll_red_car_left",
+    "ll_red_ped_left",
+]
+
+
+def left_turn_signal_model() -> TransitionSystem:
+    """Build the left-turn-signal intersection model of Figure 15."""
+    labels = {state: with_derived_propositions(props) for state, props in _LABELS.items()}
+    return build_model_from_labels(
+        name="left_turn_signal_intersection",
+        vocabulary=DRIVING_VOCABULARY,
+        labels=labels,
+        transitions=_TRANSITIONS,
+        initial_states=_INITIAL_STATES,
+    )

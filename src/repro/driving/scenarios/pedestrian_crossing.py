@@ -1,0 +1,47 @@
+"""World model of a mid-block pedestrian crossing (additional scenario).
+
+Not a figure of the paper, but the rule book's pedestrian rules (Φ1, Φ14) need
+a scenario where pedestrians step in front of the vehicle; this model supplies
+it and broadens the task catalogue used for training/validation splits.
+"""
+
+from __future__ import annotations
+
+from repro.automata.transition_system import TransitionSystem, build_model_from_labels
+from repro.driving.propositions import DRIVING_VOCABULARY, with_derived_propositions
+
+_LABELS = {
+    "xwalk_clear": ["green_traffic_light"],
+    "xwalk_ped_front": ["green_traffic_light", "pedestrian_in_front"],
+    "xwalk_ped_right": ["green_traffic_light", "pedestrian_at_right"],
+    "xwalk_dark": [],
+    "xwalk_dark_ped": ["pedestrian_in_front"],
+}
+
+_TRANSITIONS = [
+    ("xwalk_clear", "xwalk_clear"),
+    ("xwalk_clear", "xwalk_ped_front"),
+    ("xwalk_clear", "xwalk_ped_right"),
+    ("xwalk_clear", "xwalk_dark"),
+    ("xwalk_ped_front", "xwalk_clear"),
+    ("xwalk_ped_right", "xwalk_clear"),
+    ("xwalk_ped_right", "xwalk_ped_front"),
+    ("xwalk_dark", "xwalk_clear"),
+    ("xwalk_dark", "xwalk_dark_ped"),
+    ("xwalk_dark_ped", "xwalk_dark"),
+    ("xwalk_dark_ped", "xwalk_clear"),
+]
+
+_INITIAL_STATES = ["xwalk_clear", "xwalk_ped_front", "xwalk_ped_right", "xwalk_dark"]
+
+
+def pedestrian_crossing_model() -> TransitionSystem:
+    """Build the pedestrian-crossing model."""
+    labels = {state: with_derived_propositions(props) for state, props in _LABELS.items()}
+    return build_model_from_labels(
+        name="pedestrian_crossing",
+        vocabulary=DRIVING_VOCABULARY,
+        labels=labels,
+        transitions=_TRANSITIONS,
+        initial_states=_INITIAL_STATES,
+    )

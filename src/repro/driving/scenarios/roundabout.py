@@ -1,0 +1,48 @@
+"""World model of a roundabout entry (Figure 17).
+
+The ego vehicle yields to circulating traffic approaching from its left and to
+pedestrians on the entry crosswalk.
+"""
+
+from __future__ import annotations
+
+from repro.automata.transition_system import TransitionSystem, build_model_from_labels
+from repro.driving.propositions import DRIVING_VOCABULARY, with_derived_propositions
+
+_LABELS = {
+    "rb_clear": [],
+    "rb_car": ["car_from_left"],
+    "rb_ped": ["pedestrian_at_left", "pedestrian_at_right"],
+    "rb_car_ped": ["car_from_left", "pedestrian_at_right"],
+    "rb_ped_front": ["pedestrian_in_front"],
+}
+
+_TRANSITIONS = [
+    ("rb_clear", "rb_clear"),
+    ("rb_clear", "rb_car"),
+    ("rb_clear", "rb_ped"),
+    ("rb_clear", "rb_ped_front"),
+    ("rb_car", "rb_clear"),
+    ("rb_car", "rb_car"),
+    ("rb_car", "rb_car_ped"),
+    ("rb_ped", "rb_clear"),
+    ("rb_ped", "rb_car"),
+    ("rb_car_ped", "rb_car"),
+    ("rb_car_ped", "rb_clear"),
+    ("rb_ped_front", "rb_clear"),
+    ("rb_ped_front", "rb_car"),
+]
+
+_INITIAL_STATES = ["rb_clear", "rb_car", "rb_ped", "rb_car_ped", "rb_ped_front"]
+
+
+def roundabout_model() -> TransitionSystem:
+    """Build the roundabout entry model of Figure 17."""
+    labels = {state: with_derived_propositions(props) for state, props in _LABELS.items()}
+    return build_model_from_labels(
+        name="roundabout",
+        vocabulary=DRIVING_VOCABULARY,
+        labels=labels,
+        transitions=_TRANSITIONS,
+        initial_states=_INITIAL_STATES,
+    )

@@ -1,0 +1,81 @@
+"""World model of a regular traffic-light intersection (paper Figure 5).
+
+The model is a state-labeled transcription of the edge-labeled automaton in
+Figure 5: each state captures one observable environment configuration at the
+intersection (light colour, oncoming/left traffic, pedestrians).  Transitions
+encode the environment dynamics the ego vehicle can experience, including the
+edge case highlighted in Section 5.1 — the light turning red while a car
+arrives from the left immediately after the pedestrian check.
+
+Modelling conventions (shared by all scenario models):
+
+* Pedestrian states are transient: pedestrians finish crossing, so there is no
+  cycle that keeps a ``pedestrian*`` proposition true forever.  This encodes
+  the fairness assumption needed for the liveness rules (Φ1, Φ10) to be
+  meaningfully checkable.
+* Red-light states do not form cycles among themselves: the light eventually
+  turns green (structural fairness for Φ7/Φ10).
+* ``car_from_left`` only occurs under a non-green light, matching Figure 5.
+"""
+
+from __future__ import annotations
+
+from repro.automata.transition_system import TransitionSystem, build_model_from_labels
+from repro.driving.propositions import DRIVING_VOCABULARY, with_derived_propositions
+
+_LABELS = {
+    "green": ["green_traffic_light"],
+    "green_opposite": ["green_traffic_light", "opposite_car"],
+    "green_ped_left": ["green_traffic_light", "pedestrian_at_left"],
+    "green_ped_right": ["green_traffic_light", "pedestrian_at_right"],
+    "red": [],
+    "red_car_left": ["car_from_left"],
+    "red_ped_front": ["pedestrian_in_front"],
+}
+
+_TRANSITIONS = [
+    # Green phase evolves freely among green configurations ...
+    ("green", "green"),
+    ("green", "green_opposite"),
+    ("green", "green_ped_left"),
+    ("green", "green_ped_right"),
+    ("green_opposite", "green"),
+    ("green_opposite", "green_opposite"),
+    ("green_opposite", "green_ped_right"),
+    # ... and may end: the light turns red (possibly with cross traffic).
+    ("green", "red"),
+    ("green", "red_car_left"),
+    ("green_opposite", "red"),
+    ("green_ped_left", "green"),
+    ("green_ped_left", "red"),
+    ("green_ped_right", "green"),
+    ("green_ped_right", "red"),
+    # The Section-5.1 edge case: right after the pedestrian check the light
+    # turns red and a car approaches from the left.
+    ("green_ped_right", "red_car_left"),
+    ("green_ped_left", "red_car_left"),
+    # Red phase: cross traffic may appear, then the light turns green again
+    # (no red-red cycles: the light is fair).
+    ("red", "green"),
+    ("red", "green_opposite"),
+    ("red", "green_ped_right"),
+    ("red_car_left", "green"),
+    ("red_car_left", "red"),
+    ("red_ped_front", "green"),
+    ("red", "red_ped_front"),
+]
+
+#: States the ego vehicle may find itself in when the task begins.
+_INITIAL_STATES = ["green", "green_opposite", "green_ped_right", "red", "red_car_left"]
+
+
+def traffic_light_intersection_model() -> TransitionSystem:
+    """Build the traffic-light intersection model of Figure 5."""
+    labels = {state: with_derived_propositions(props) for state, props in _LABELS.items()}
+    return build_model_from_labels(
+        name="traffic_light_intersection",
+        vocabulary=DRIVING_VOCABULARY,
+        labels=labels,
+        transitions=_TRANSITIONS,
+        initial_states=_INITIAL_STATES,
+    )

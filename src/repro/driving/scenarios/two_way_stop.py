@@ -1,0 +1,51 @@
+"""World model of a two-way stop-sign intersection (Figure 16).
+
+``stop_sign`` holds in every state of this scenario; the dynamics track cross
+traffic from the left/right and a car ahead at the opposite sign.
+"""
+
+from __future__ import annotations
+
+from repro.automata.transition_system import TransitionSystem, build_model_from_labels
+from repro.driving.propositions import DRIVING_VOCABULARY, with_derived_propositions
+
+_LABELS = {
+    "stop_clear": ["stop_sign"],
+    "stop_left": ["stop_sign", "car_from_left"],
+    "stop_right": ["stop_sign", "car_from_right"],
+    "stop_both": ["stop_sign", "car_from_left", "car_from_right"],
+    "stop_front": ["stop_sign", "opposite_car"],
+    "stop_ped": ["stop_sign", "pedestrian_in_front"],
+}
+
+_TRANSITIONS = [
+    # Cross traffic arrives and clears; the intersection eventually frees up
+    # (no cycle keeps traffic there forever, so a yielding car is not starved).
+    ("stop_clear", "stop_clear"),
+    ("stop_clear", "stop_left"),
+    ("stop_clear", "stop_right"),
+    ("stop_clear", "stop_front"),
+    ("stop_clear", "stop_ped"),
+    ("stop_left", "stop_clear"),
+    ("stop_left", "stop_both"),
+    ("stop_right", "stop_clear"),
+    ("stop_right", "stop_both"),
+    ("stop_both", "stop_clear"),
+    ("stop_front", "stop_clear"),
+    ("stop_ped", "stop_clear"),
+    ("stop_ped", "stop_front"),
+]
+
+_INITIAL_STATES = ["stop_clear", "stop_left", "stop_right", "stop_both", "stop_ped"]
+
+
+def two_way_stop_model() -> TransitionSystem:
+    """Build the two-way stop-sign model of Figure 16."""
+    labels = {state: with_derived_propositions(props) for state, props in _LABELS.items()}
+    return build_model_from_labels(
+        name="two_way_stop_intersection",
+        vocabulary=DRIVING_VOCABULARY,
+        labels=labels,
+        transitions=_TRANSITIONS,
+        initial_states=_INITIAL_STATES,
+    )

@@ -1,0 +1,43 @@
+"""The universal model: the disjoint union of every scenario model.
+
+Section 5.1: "We integrate these models together to form a universal model
+representing the entire system."  A controller verified against the universal
+model is checked from every initial state of every scenario.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+
+from repro.automata.transition_system import TransitionSystem
+from repro.driving.scenarios.left_turn_signal import left_turn_signal_model
+from repro.driving.scenarios.pedestrian_crossing import pedestrian_crossing_model
+from repro.driving.scenarios.roundabout import roundabout_model
+from repro.driving.scenarios.traffic_light import traffic_light_intersection_model
+from repro.driving.scenarios.two_way_stop import two_way_stop_model
+from repro.driving.scenarios.wide_median import wide_median_model
+
+SCENARIO_BUILDERS = {
+    "traffic_light_intersection": traffic_light_intersection_model,
+    "left_turn_signal_intersection": left_turn_signal_model,
+    "wide_median_intersection": wide_median_model,
+    "two_way_stop_intersection": two_way_stop_model,
+    "roundabout": roundabout_model,
+    "pedestrian_crossing": pedestrian_crossing_model,
+}
+
+
+def scenario_model(name: str) -> TransitionSystem:
+    """Build one scenario model by name."""
+    try:
+        return SCENARIO_BUILDERS[name]()
+    except KeyError as exc:
+        raise KeyError(f"unknown scenario {name!r}; known: {sorted(SCENARIO_BUILDERS)}") from exc
+
+
+def universal_model() -> TransitionSystem:
+    """Build the universal model (disjoint union of all scenario models)."""
+    models = [builder() for builder in SCENARIO_BUILDERS.values()]
+    merged = reduce(lambda a, b: a.union(b), models)
+    merged.name = "universal_driving_model"
+    return merged

@@ -1,0 +1,49 @@
+"""World model of a yield-based intersection with a wide median (Figure 6).
+
+The only relevant observations are cross traffic from the left (σ1) and from
+the right (σ2); all four combinations occur and evolve freely, exactly as the
+four-state automaton of Figure 6.
+"""
+
+from __future__ import annotations
+
+from repro.automata.transition_system import TransitionSystem, build_model_from_labels
+from repro.driving.propositions import DRIVING_VOCABULARY, with_derived_propositions
+
+_LABELS = {
+    "median_clear": [],
+    "median_left": ["car_from_left"],
+    "median_right": ["car_from_right"],
+    "median_both": ["car_from_left", "car_from_right"],
+    "median_ped": ["pedestrian_in_front"],
+}
+
+# Traffic from either side appears and clears freely (the full 4-state clique
+# of Figure 6), except that the fully blocked state eventually clears so a
+# yielding vehicle is not starved forever.  A pedestrian occasionally crosses
+# the median refuge (transient, as in every scenario model).
+_CLIQUE = ["median_clear", "median_left", "median_right", "median_both"]
+_TRANSITIONS = [
+    (src, dst)
+    for src in _CLIQUE
+    for dst in _CLIQUE
+    if not (src == "median_both" and dst == "median_both")
+] + [
+    ("median_clear", "median_ped"),
+    ("median_ped", "median_clear"),
+    ("median_ped", "median_left"),
+]
+
+_INITIAL_STATES = list(_LABELS)
+
+
+def wide_median_model() -> TransitionSystem:
+    """Build the wide-median intersection model of Figure 6."""
+    labels = {state: with_derived_propositions(props) for state, props in _LABELS.items()}
+    return build_model_from_labels(
+        name="wide_median_intersection",
+        vocabulary=DRIVING_VOCABULARY,
+        labels=labels,
+        transitions=_TRANSITIONS,
+        initial_states=_INITIAL_STATES,
+    )

@@ -1,0 +1,132 @@
+"""Task catalogue for the autonomous-driving system.
+
+Each task is a natural-language control query (the prompt dataset of Section
+4.1) tied to the scenario model it is verified against.  The catalogue is
+split into training and validation tasks, matching the two curves of Figure 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.automata.transition_system import TransitionSystem
+from repro.driving.scenarios.universal import scenario_model
+
+
+@dataclass(frozen=True)
+class DrivingTask:
+    """One control task: its prompt, verification scenario and split."""
+
+    name: str
+    prompt: str
+    scenario: str
+    split: str  # "train" or "validation"
+
+    def model(self) -> TransitionSystem:
+        """Build the scenario world model this task is verified against."""
+        return scenario_model(self.scenario)
+
+
+#: The full task catalogue (prompts follow the paper's "Steps for ..." style).
+TASKS: tuple = (
+    DrivingTask(
+        name="turn_right_traffic_light",
+        prompt="turn right at the traffic light",
+        scenario="traffic_light_intersection",
+        split="train",
+    ),
+    DrivingTask(
+        name="go_straight_traffic_light",
+        prompt="go straight through the traffic light intersection",
+        scenario="traffic_light_intersection",
+        split="train",
+    ),
+    DrivingTask(
+        name="turn_left_protected",
+        prompt="turn left at the traffic light with the left-turn signal",
+        scenario="left_turn_signal_intersection",
+        split="train",
+    ),
+    DrivingTask(
+        name="stop_sign_go_straight",
+        prompt="go straight at the two-way stop sign",
+        scenario="two_way_stop_intersection",
+        split="train",
+    ),
+    DrivingTask(
+        name="turn_right_stop_sign",
+        prompt="turn right at the stop sign",
+        scenario="two_way_stop_intersection",
+        split="train",
+    ),
+    DrivingTask(
+        name="enter_roundabout",
+        prompt="enter the roundabout",
+        scenario="roundabout",
+        split="train",
+    ),
+    DrivingTask(
+        name="cross_wide_median",
+        prompt="cross the intersection with a wide median",
+        scenario="wide_median_intersection",
+        split="train",
+    ),
+    DrivingTask(
+        name="yield_crosswalk",
+        prompt="drive through the pedestrian crosswalk",
+        scenario="pedestrian_crossing",
+        split="train",
+    ),
+    DrivingTask(
+        name="turn_left_unprotected",
+        prompt="turn left at the intersection without a green arrow",
+        scenario="left_turn_signal_intersection",
+        split="validation",
+    ),
+    DrivingTask(
+        name="turn_right_crosswalk",
+        prompt="turn right at the pedestrian crosswalk",
+        scenario="pedestrian_crossing",
+        split="validation",
+    ),
+    DrivingTask(
+        name="stop_sign_turn_left",
+        prompt="turn left at the two-way stop sign",
+        scenario="two_way_stop_intersection",
+        split="validation",
+    ),
+    DrivingTask(
+        name="merge_after_median",
+        prompt="proceed through the wide median when the road is clear",
+        scenario="wide_median_intersection",
+        split="validation",
+    ),
+)
+
+
+def all_tasks() -> tuple:
+    """Every task in the catalogue."""
+    return TASKS
+
+
+def training_tasks() -> tuple:
+    """Tasks whose preference data is used for DPO fine-tuning."""
+    return tuple(t for t in TASKS if t.split == "train")
+
+
+def validation_tasks() -> tuple:
+    """Held-out tasks used only for the Figure-9 validation curve."""
+    return tuple(t for t in TASKS if t.split == "validation")
+
+
+def task_by_name(name: str) -> DrivingTask:
+    """Look up a task by its identifier."""
+    for task in TASKS:
+        if task.name == name:
+            return task
+    raise KeyError(f"unknown task {name!r}; known: {[t.name for t in TASKS]}")
+
+
+def task_prompt(task: DrivingTask) -> str:
+    """The query sent to the language model (the paper's prompt format)."""
+    return f'Steps for "{task.prompt}"'

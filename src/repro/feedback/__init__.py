@@ -1,0 +1,17 @@
+"""Automated feedback: formal verification, empirical evaluation, ranking."""
+
+from repro.feedback.empirical import EmpiricalEvaluator, EmpiricalFeedback, trace_satisfaction
+from repro.feedback.formal import FormalFeedback, FormalVerifier
+from repro.feedback.ranker import FeedbackRanker, PreferencePair, max_pairs, rank_to_pairs
+
+__all__ = [
+    "EmpiricalEvaluator",
+    "EmpiricalFeedback",
+    "trace_satisfaction",
+    "FormalFeedback",
+    "FormalVerifier",
+    "FeedbackRanker",
+    "PreferencePair",
+    "max_pairs",
+    "rank_to_pairs",
+]

@@ -1,0 +1,123 @@
+"""Formal-verification feedback (Section 4.2, "Formal Verification").
+
+Given a controller induced by a language-model response, a world model and a
+set of specifications, the feedback is the number (and set) of specifications
+the product automaton satisfies.  This is the quantity DPO-AF uses to rank
+responses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.automata.fsa import FSAController
+from repro.automata.transition_system import TransitionSystem
+from repro.errors import AlignmentError
+from repro.glm2fsa.builder import build_controller_from_text
+from repro.modelcheck.checker import ModelChecker, VerificationReport
+
+
+@dataclass(frozen=True)
+class FormalFeedback:
+    """Verification feedback for one response/controller."""
+
+    task: str
+    num_satisfied: int
+    num_specifications: int
+    satisfied: tuple = ()
+    violated: tuple = ()
+    controller_states: int = 0
+    parse_failed: bool = False
+
+    @property
+    def satisfaction_ratio(self) -> float:
+        if self.num_specifications == 0:
+            return 0.0
+        return self.num_satisfied / self.num_specifications
+
+    def describe(self) -> str:
+        status = "unparseable response" if self.parse_failed else f"{self.num_satisfied}/{self.num_specifications}"
+        return f"[{self.task}] {status} specifications satisfied"
+
+
+class FormalVerifier:
+    """Computes :class:`FormalFeedback` for responses or controllers.
+
+    Parameters
+    ----------
+    specifications:
+        Mapping ``{name: Formula}`` (e.g. the paper's Φ1 ... Φ15).
+    checker:
+        Optional shared :class:`ModelChecker` instance.
+    wait_action:
+        Output emitted while a constructed controller waits/observes; see
+        :func:`repro.glm2fsa.builder.build_controller`.
+    restart_on_termination:
+        Passed to the product construction; see
+        :func:`repro.automata.product.build_product`.
+    """
+
+    def __init__(
+        self,
+        specifications: Mapping,
+        *,
+        checker: ModelChecker | None = None,
+        wait_action: str | None = "stop",
+        restart_on_termination: bool = True,
+    ):
+        self.specifications = dict(specifications)
+        self.checker = checker or ModelChecker()
+        self.wait_action = wait_action
+        self.restart_on_termination = restart_on_termination
+
+    # ------------------------------------------------------------------ #
+    def verify_controller(self, model: TransitionSystem, controller: FSAController, *, task: str = "") -> FormalFeedback:
+        """Feedback for an already-constructed controller."""
+        report: VerificationReport = self.checker.verify_controller(
+            model,
+            controller,
+            self.specifications.values(),
+            restart_on_termination=self.restart_on_termination,
+        )
+        names = list(self.specifications)
+        satisfied = tuple(name for name, result in zip(names, report.results) if result.holds)
+        violated = tuple(name for name, result in zip(names, report.results) if not result.holds)
+        return FormalFeedback(
+            task=task or controller.name,
+            num_satisfied=report.num_satisfied,
+            num_specifications=report.num_specifications,
+            satisfied=satisfied,
+            violated=violated,
+            controller_states=controller.num_states,
+        )
+
+    def verify_response(self, model: TransitionSystem, response_text: str, *, task: str = "") -> FormalFeedback:
+        """Feedback for a raw language-model response (parse → build → verify).
+
+        An unparseable response (no alignable steps) satisfies zero
+        specifications: it cannot be compiled into a controller at all, which
+        is exactly the behaviour DPO-AF penalises.
+        """
+        try:
+            controller = build_controller_from_text(
+                response_text,
+                task=task,
+                name=task or "response_controller",
+                wait_action=self.wait_action,
+            )
+        except AlignmentError:
+            return FormalFeedback(
+                task=task,
+                num_satisfied=0,
+                num_specifications=len(self.specifications),
+                violated=tuple(self.specifications),
+                parse_failed=True,
+            )
+        return self.verify_controller(model, controller, task=task)
+
+    def rank_responses(self, model: TransitionSystem, responses: Iterable[str], *, task: str = "") -> list:
+        """Feedback for several responses, sorted best-first (stable order)."""
+        feedback = [self.verify_response(model, response, task=task) for response in responses]
+        order = sorted(range(len(feedback)), key=lambda i: feedback[i].num_satisfied, reverse=True)
+        return [(i, feedback[i]) for i in order]

@@ -1,0 +1,96 @@
+"""Pairwise preference construction from automated feedback (Section 4.3).
+
+For every task prompt with ``m`` sampled responses, any two responses whose
+feedback differs produce one preference data point ``(x, y_w, y_l)`` — up to
+``N · C(m, 2)`` points for ``N`` tasks, as the paper notes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Callable, Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class PreferencePair:
+    """One DPO data point: prompt, preferred response, rejected response."""
+
+    prompt: str
+    chosen: str
+    rejected: str
+    chosen_score: float = 0.0
+    rejected_score: float = 0.0
+    task: str = ""
+
+    @property
+    def margin(self) -> float:
+        """Feedback margin between the two responses."""
+        return self.chosen_score - self.rejected_score
+
+
+def rank_to_pairs(
+    prompt: str,
+    responses: Sequence[str],
+    scores: Sequence[float],
+    *,
+    task: str = "",
+    require_strict: bool = True,
+) -> list:
+    """Turn scored responses into preference pairs.
+
+    Parameters
+    ----------
+    require_strict:
+        If True (default) only pairs whose scores differ produce a data point;
+        ties carry no preference information for DPO.
+    """
+    if len(responses) != len(scores):
+        raise ValueError(f"got {len(responses)} responses but {len(scores)} scores")
+    pairs = []
+    for i, j in combinations(range(len(responses)), 2):
+        if scores[i] == scores[j]:
+            if require_strict:
+                continue
+            continue
+        winner, loser = (i, j) if scores[i] > scores[j] else (j, i)
+        pairs.append(
+            PreferencePair(
+                prompt=prompt,
+                chosen=responses[winner],
+                rejected=responses[loser],
+                chosen_score=float(scores[winner]),
+                rejected_score=float(scores[loser]),
+                task=task,
+            )
+        )
+    return pairs
+
+
+def max_pairs(num_tasks: int, responses_per_task: int) -> int:
+    """The paper's bound ``N · C2(m)`` on the number of preference points."""
+    m = responses_per_task
+    return num_tasks * (m * (m - 1)) // 2
+
+
+class FeedbackRanker:
+    """Builds preference pairs from a scoring function over responses.
+
+    ``score_fn(task, response) -> float`` is typically the number of
+    specifications satisfied, supplied by :class:`~repro.feedback.formal.
+    FormalVerifier` or :class:`~repro.feedback.empirical.EmpiricalEvaluator`.
+    """
+
+    def __init__(self, score_fn: Callable):
+        self.score_fn = score_fn
+
+    def pairs_for_task(self, task, prompt: str, responses: Sequence[str]) -> list:
+        scores = [self.score_fn(task, response) for response in responses]
+        return rank_to_pairs(prompt, list(responses), scores, task=getattr(task, "name", str(task)))
+
+    def pairs_for_dataset(self, items: Iterable) -> list:
+        """``items`` yields ``(task, prompt, responses)`` triples."""
+        all_pairs = []
+        for task, prompt, responses in items:
+            all_pairs.extend(self.pairs_for_task(task, prompt, responses))
+        return all_pairs

@@ -1,0 +1,34 @@
+"""GLM2FSA: from language-model step text to FSA controllers (Section 4.1)."""
+
+from repro.glm2fsa.aligner import align_response, align_step, find_action, find_propositions
+from repro.glm2fsa.builder import build_controller, build_controller_from_text
+from repro.glm2fsa.grammar import (
+    ActionStep,
+    Condition,
+    ConditionLiteral,
+    ConditionalStep,
+    ObserveStep,
+    ParsedResponse,
+    Step,
+)
+from repro.glm2fsa.semantic_parser import parse_aligned_step, parse_response, parse_step, strip_numbering
+
+__all__ = [
+    "align_response",
+    "align_step",
+    "find_action",
+    "find_propositions",
+    "build_controller",
+    "build_controller_from_text",
+    "ActionStep",
+    "Condition",
+    "ConditionLiteral",
+    "ConditionalStep",
+    "ObserveStep",
+    "ParsedResponse",
+    "Step",
+    "parse_aligned_step",
+    "parse_response",
+    "parse_step",
+    "strip_numbering",
+]

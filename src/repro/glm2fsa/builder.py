@@ -1,0 +1,106 @@
+"""FSA construction from parsed steps — the GLM2FSA algorithm (Yang et al. 2022).
+
+One controller state is created per step (plus a final state); transition
+rules follow the paper's construction, with two conventions made explicit:
+
+* **Wait action.**  While a step's condition is not met (or during a pure
+  observation) the vehicle holds, i.e. the transition outputs ``stop`` by
+  default.  This matches the fine-tuned controllers in Figures 7/18, whose
+  "condition not met" branches emit ``stop``; passing ``wait_action=None``
+  reproduces the ε (no-operation) branches of the pre-fine-tuning figures.
+* **Guarding steps.**  A conditional step whose consequence is ``stop``
+  ("If the left-turn light is not green, then stop") keeps stopping *while*
+  its condition holds and advances once the condition clears — the shape of
+  the fine-tuned left-turn controller in Figure 18.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.automata.fsa import FSAController
+from repro.automata.guards import TRUE
+from repro.automata.alphabet import Vocabulary
+from repro.driving.propositions import DRIVING_VOCABULARY
+from repro.errors import AlignmentError
+from repro.glm2fsa.grammar import ActionStep, ConditionalStep, ObserveStep, ParsedResponse, Step
+from repro.glm2fsa.semantic_parser import parse_response
+
+
+def build_controller(
+    steps: Iterable[Step] | ParsedResponse,
+    *,
+    name: str = "controller",
+    vocabulary: Vocabulary = DRIVING_VOCABULARY,
+    wait_action: str | None = "stop",
+) -> FSAController:
+    """Build an FSA controller from parsed steps (the GLM2FSA construction).
+
+    Parameters
+    ----------
+    steps:
+        Parsed steps (or a :class:`ParsedResponse`).
+    wait_action:
+        Output symbol used while waiting/observing; ``None`` gives the ε
+        output symbol.
+
+    Raises
+    ------
+    AlignmentError
+        If there are no usable steps (an empty controller cannot be verified).
+    """
+    if isinstance(steps, ParsedResponse):
+        step_list = list(steps.steps)
+    else:
+        step_list = list(steps)
+    if not step_list:
+        raise AlignmentError(f"response for {name!r} contains no parseable steps")
+
+    controller = FSAController(name=name, vocabulary=vocabulary)
+    states = [controller.add_state(f"q{i}") for i in range(len(step_list) + 1)]
+    controller.initial_state = states[0]
+
+    for index, step in enumerate(step_list):
+        state, next_state = states[index], states[index + 1]
+        if isinstance(step, ObserveStep):
+            controller.add_transition(state, TRUE, wait_action, next_state)
+        elif isinstance(step, ActionStep):
+            controller.add_transition(state, TRUE, step.action, next_state)
+        elif isinstance(step, ConditionalStep):
+            guard = step.condition.to_guard()
+            negated = step.condition.negated_guard()
+            if step.action == "stop":
+                # Guarding step: keep stopping while the condition holds.
+                controller.add_transition(state, guard, "stop", state)
+                controller.add_transition(state, negated, wait_action, next_state)
+            elif step.action is not None:
+                controller.add_transition(state, guard, step.action, next_state)
+                controller.add_transition(state, negated, wait_action, state)
+            else:
+                # Conditional observation ("if no car from left, check ...").
+                controller.add_transition(state, guard, wait_action, next_state)
+                controller.add_transition(state, negated, wait_action, state)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown step type {step!r}")
+
+    controller.validate()
+    return controller
+
+
+def build_controller_from_text(
+    text: str,
+    *,
+    task: str = "",
+    name: str | None = None,
+    vocabulary: Vocabulary = DRIVING_VOCABULARY,
+    wait_action: str | None = "stop",
+    aligned: bool = False,
+) -> FSAController:
+    """Parse a raw response and build its controller in one call."""
+    parsed = parse_response(text, task=task, aligned=aligned)
+    return build_controller(
+        parsed,
+        name=name or (task or "controller"),
+        vocabulary=vocabulary,
+        wait_action=wait_action,
+    )

@@ -1,0 +1,122 @@
+"""Structured step representations produced by the GLM2FSA semantic parser.
+
+A language-model response is a numbered list of step descriptions.  Semantic
+parsing (Section 4.1, "Controller Construction") turns each step into one of
+three structured forms:
+
+* :class:`ObserveStep` — "Observe the traffic light." (no control action)
+* :class:`ActionStep` — "Turn right." (unconditional action)
+* :class:`ConditionalStep` — "If there is no car from left, turn right."
+  (a guarded action or observation)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal as LiteralType
+
+from repro.automata.guards import Guard, GuardNot, atom, conj, disj, TRUE
+
+
+@dataclass(frozen=True)
+class ConditionLiteral:
+    """One literal of a step condition: a proposition and its polarity."""
+
+    proposition: str
+    positive: bool = True
+
+    def to_guard(self) -> Guard:
+        guard = atom(self.proposition)
+        return guard if self.positive else GuardNot(guard)
+
+    def __str__(self) -> str:
+        return self.proposition if self.positive else f"no {self.proposition}"
+
+
+@dataclass(frozen=True)
+class Condition:
+    """A step condition: literals joined by ``and`` or ``or``."""
+
+    literals: tuple = ()
+    connective: LiteralType["and", "or"] = "and"
+
+    def to_guard(self) -> Guard:
+        if not self.literals:
+            return TRUE
+        guards = [lit.to_guard() for lit in self.literals]
+        return conj(*guards) if self.connective == "and" else disj(*guards)
+
+    def negated_guard(self) -> Guard:
+        return GuardNot(self.to_guard())
+
+    def propositions(self) -> frozenset:
+        return frozenset(lit.proposition for lit in self.literals)
+
+    def __str__(self) -> str:
+        joiner = f" {self.connective} "
+        return joiner.join(str(lit) for lit in self.literals) or "true"
+
+
+@dataclass(frozen=True)
+class ObserveStep:
+    """An observation step: look at / check some propositions, no action."""
+
+    propositions: tuple = ()
+    text: str = ""
+
+    def __str__(self) -> str:
+        props = ", ".join(self.propositions) or "environment"
+        return f"<observe {props}>"
+
+
+@dataclass(frozen=True)
+class ActionStep:
+    """An unconditional action step."""
+
+    action: str
+    text: str = ""
+
+    def __str__(self) -> str:
+        return f"<{self.action}>"
+
+
+@dataclass(frozen=True)
+class ConditionalStep:
+    """A guarded step: if ``condition`` then ``action`` (or observe ``observed``)."""
+
+    condition: Condition
+    action: str | None = None
+    observed: tuple = ()
+    text: str = ""
+
+    @property
+    def is_action(self) -> bool:
+        return self.action is not None
+
+    def __str__(self) -> str:
+        consequence = f"<{self.action}>" if self.action else f"<check {', '.join(self.observed)}>"
+        return f"<if> <{self.condition}>, {consequence}"
+
+
+#: Union type of all step forms.
+Step = ObserveStep | ActionStep | ConditionalStep
+
+
+@dataclass
+class ParsedResponse:
+    """A fully parsed language-model response: task name plus ordered steps."""
+
+    task: str = ""
+    steps: list = field(default_factory=list)
+    raw_text: str = ""
+
+    def __iter__(self):
+        return iter(self.steps)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def describe(self) -> str:
+        lines = [f"Parsed response for task {self.task!r}:"]
+        lines.extend(f"  {i + 1}. {step}" for i, step in enumerate(self.steps))
+        return "\n".join(lines)

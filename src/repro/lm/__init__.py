@@ -1,0 +1,56 @@
+"""The language-model substrate: tokenizer, numpy transformer, LoRA, sampling."""
+
+from repro.lm.corpus import Corpus, CorpusExample, build_corpus, format_document, format_prompt
+from repro.lm.layers import (
+    CausalSelfAttention,
+    Embedding,
+    FeedForward,
+    Layer,
+    LayerNorm,
+    Linear,
+    Parameter,
+    TransformerBlock,
+    gelu,
+    softmax,
+)
+from repro.lm.lora import LoRAConfig, apply_lora, merge_lora
+from repro.lm.optim import SGD, Adam
+from repro.lm.pretrain import PretrainConfig, PretrainResult, encode_documents, pretrain
+from repro.lm.sampling import sample_response, sample_responses, sample_tokens
+from repro.lm.tokenizer import SPECIAL_TOKENS, Tokenizer, words_of
+from repro.lm.transformer import ModelConfig, TransformerLM
+
+__all__ = [
+    "Corpus",
+    "CorpusExample",
+    "build_corpus",
+    "format_document",
+    "format_prompt",
+    "CausalSelfAttention",
+    "Embedding",
+    "FeedForward",
+    "Layer",
+    "LayerNorm",
+    "Linear",
+    "Parameter",
+    "TransformerBlock",
+    "gelu",
+    "softmax",
+    "LoRAConfig",
+    "apply_lora",
+    "merge_lora",
+    "SGD",
+    "Adam",
+    "PretrainConfig",
+    "PretrainResult",
+    "encode_documents",
+    "pretrain",
+    "sample_response",
+    "sample_responses",
+    "sample_tokens",
+    "SPECIAL_TOKENS",
+    "Tokenizer",
+    "words_of",
+    "ModelConfig",
+    "TransformerLM",
+]

@@ -1,0 +1,340 @@
+"""Neural-network layers in pure numpy with explicit backpropagation.
+
+Each layer stores its :class:`Parameter` objects and the forward-pass cache it
+needs for the backward pass.  The design follows the guidance of the ml-systems
+coding guide: vectorised numpy everywhere, no Python loops over batch or time
+dimensions.
+
+The layers implement exactly what the DPO-AF pipeline needs — a small GPT-style
+causal transformer with optional LoRA adapters on its linear projections — and
+nothing more.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import TrainingError
+
+#: Floating-point precision of the language model.  float32 halves the memory
+#: traffic of every matmul, which is where all the training time goes.
+DTYPE = np.float32
+
+
+@dataclass
+class Parameter:
+    """A trainable tensor with its accumulated gradient."""
+
+    value: np.ndarray
+    name: str = ""
+    trainable: bool = True
+    grad: np.ndarray = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        self.value = np.asarray(self.value, dtype=DTYPE)
+        self.grad = np.zeros_like(self.value)
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+    @property
+    def shape(self) -> tuple:
+        return self.value.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.value.size)
+
+
+class Layer:
+    """Base class: every layer exposes its parameters for the optimizer."""
+
+    def parameters(self) -> list:
+        """All :class:`Parameter` objects owned by this layer (and children)."""
+        params: list[Parameter] = []
+        for attr in vars(self).values():
+            if isinstance(attr, Parameter):
+                params.append(attr)
+            elif isinstance(attr, Layer):
+                params.extend(attr.parameters())
+            elif isinstance(attr, (list, tuple)):
+                for item in attr:
+                    if isinstance(item, Layer):
+                        params.extend(item.parameters())
+                    elif isinstance(item, Parameter):
+                        params.append(item)
+        return params
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+
+def _xavier(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    scale = math.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, scale, size=(fan_in, fan_out))
+
+
+class Linear(Layer):
+    """Affine map ``y = x W + b`` with optional LoRA adapters.
+
+    When LoRA is enabled (``add_lora``), the effective weight is
+    ``W + (alpha / r) * A @ B`` with ``A ∈ R^{in×r}``, ``B ∈ R^{r×out}``;
+    typically the base ``W``/``b`` are frozen and only ``A``/``B`` receive
+    optimizer updates (Appendix E of the paper / Hu et al. 2021).
+    """
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator, *, bias: bool = True, name: str = "linear"):
+        self.in_features = in_features
+        self.out_features = out_features
+        self.name = name
+        self.weight = Parameter(_xavier(rng, in_features, out_features), name=f"{name}.weight")
+        self.bias = Parameter(np.zeros(out_features), name=f"{name}.bias") if bias else None
+        self.lora_a: Parameter | None = None
+        self.lora_b: Parameter | None = None
+        self.lora_scale: float = 0.0
+        self._cache_x: np.ndarray | None = None
+
+    # ------------------------------------------------------------------ #
+    def add_lora(self, rank: int, rng: np.random.Generator, *, alpha: float | None = None, freeze_base: bool = True) -> None:
+        """Attach a rank-``rank`` LoRA adapter (A is random, B starts at zero)."""
+        if rank <= 0:
+            raise TrainingError(f"LoRA rank must be positive, got {rank}")
+        alpha = float(alpha if alpha is not None else rank)
+        self.lora_a = Parameter(rng.normal(0.0, 0.02, size=(self.in_features, rank)), name=f"{self.name}.lora_a")
+        self.lora_b = Parameter(np.zeros((rank, self.out_features)), name=f"{self.name}.lora_b")
+        self.lora_scale = alpha / rank
+        if freeze_base:
+            self.weight.trainable = False
+            if self.bias is not None:
+                self.bias.trainable = False
+
+    def merge_lora(self) -> None:
+        """Fold the adapter into the base weight and drop it (inference-time merge)."""
+        if self.lora_a is None or self.lora_b is None:
+            return
+        self.weight.value = self.weight.value + self.lora_scale * (self.lora_a.value @ self.lora_b.value)
+        self.lora_a = None
+        self.lora_b = None
+        self.lora_scale = 0.0
+
+    @property
+    def has_lora(self) -> bool:
+        return self.lora_a is not None
+
+    def effective_weight(self) -> np.ndarray:
+        if self.has_lora:
+            return self.weight.value + self.lora_scale * (self.lora_a.value @ self.lora_b.value)
+        return self.weight.value
+
+    # ------------------------------------------------------------------ #
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._cache_x = x
+        y = x @ self.effective_weight()
+        if self.bias is not None:
+            y = y + self.bias.value
+        return y
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        x = self._cache_x
+        if x is None:
+            raise TrainingError(f"backward called before forward on {self.name}")
+        flat_x = x.reshape(-1, self.in_features)
+        flat_d = dout.reshape(-1, self.out_features)
+        self.weight.grad += flat_x.T @ flat_d
+        if self.bias is not None:
+            self.bias.grad += flat_d.sum(axis=0)
+        if self.has_lora:
+            # d/dA = x^T dout B^T * scale ; d/dB = (xA)^T dout * scale
+            xa = flat_x @ self.lora_a.value
+            self.lora_a.grad += self.lora_scale * (flat_x.T @ (flat_d @ self.lora_b.value.T))
+            self.lora_b.grad += self.lora_scale * (xa.T @ flat_d)
+        dx = dout @ self.effective_weight().T
+        return dx
+
+
+class Embedding(Layer):
+    """Token (or positional) embedding lookup."""
+
+    def __init__(self, num_embeddings: int, dim: int, rng: np.random.Generator, *, name: str = "embedding"):
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+        self.weight = Parameter(rng.normal(0.0, 0.02, size=(num_embeddings, dim)), name=f"{name}.weight")
+        self._cache_ids: np.ndarray | None = None
+
+    def forward(self, ids: np.ndarray) -> np.ndarray:
+        ids = np.asarray(ids, dtype=np.int64)
+        self._cache_ids = ids
+        return self.weight.value[ids]
+
+    def backward(self, dout: np.ndarray) -> None:
+        ids = self._cache_ids
+        if ids is None:
+            raise TrainingError("backward called before forward on embedding")
+        np.add.at(self.weight.grad, ids.reshape(-1), dout.reshape(-1, self.dim))
+        return None
+
+
+class LayerNorm(Layer):
+    """Layer normalisation over the last dimension."""
+
+    def __init__(self, dim: int, *, eps: float = 1e-5, name: str = "layernorm"):
+        self.dim = dim
+        self.eps = eps
+        self.gain = Parameter(np.ones(dim), name=f"{name}.gain")
+        self.shift = Parameter(np.zeros(dim), name=f"{name}.shift")
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        mean = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        normalised = (x - mean) * inv_std
+        self._cache = (normalised, inv_std)
+        return normalised * self.gain.value + self.shift.value
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        normalised, inv_std = self._cache
+        self.gain.grad += (dout * normalised).reshape(-1, self.dim).sum(axis=0)
+        self.shift.grad += dout.reshape(-1, self.dim).sum(axis=0)
+        dnorm = dout * self.gain.value
+        # Standard layer-norm backward over the last axis.
+        mean_dnorm = dnorm.mean(axis=-1, keepdims=True)
+        mean_dnorm_norm = (dnorm * normalised).mean(axis=-1, keepdims=True)
+        return (dnorm - mean_dnorm - normalised * mean_dnorm_norm) * inv_std
+
+
+_GELU_C = math.sqrt(2.0 / math.pi)
+
+
+def _gelu_with_cache(x: np.ndarray) -> tuple:
+    """GELU (tanh approximation) plus the tanh term needed by its derivative."""
+    x3 = x * x * x
+    tanh_inner = np.tanh(_GELU_C * (x + 0.044715 * x3))
+    return 0.5 * x * (1.0 + tanh_inner), tanh_inner
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """Gaussian Error Linear Unit (tanh approximation)."""
+    return _gelu_with_cache(x)[0]
+
+
+def gelu_grad(x: np.ndarray, tanh_inner: np.ndarray | None = None) -> np.ndarray:
+    """Derivative of the tanh-approximated GELU."""
+    if tanh_inner is None:
+        tanh_inner = np.tanh(_GELU_C * (x + 0.044715 * x * x * x))
+    sech2 = 1.0 - tanh_inner ** 2
+    return 0.5 * (1.0 + tanh_inner) + 0.5 * x * sech2 * _GELU_C * (1.0 + 3 * 0.044715 * x * x)
+
+
+class FeedForward(Layer):
+    """Position-wise MLP: Linear → GELU → Linear."""
+
+    def __init__(self, dim: int, hidden_dim: int, rng: np.random.Generator, *, name: str = "mlp"):
+        self.fc_in = Linear(dim, hidden_dim, rng, name=f"{name}.fc_in")
+        self.fc_out = Linear(hidden_dim, dim, rng, name=f"{name}.fc_out")
+        self._cache_pre: np.ndarray | None = None
+        self._cache_tanh: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        pre = self.fc_in.forward(x)
+        activated, tanh_inner = _gelu_with_cache(pre)
+        self._cache_pre = pre
+        self._cache_tanh = tanh_inner
+        return self.fc_out.forward(activated)
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        dhidden = self.fc_out.backward(dout)
+        dpre = dhidden * gelu_grad(self._cache_pre, self._cache_tanh)
+        return self.fc_in.backward(dpre)
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = x - x.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+class CausalSelfAttention(Layer):
+    """Multi-head causal self-attention."""
+
+    def __init__(self, dim: int, num_heads: int, rng: np.random.Generator, *, name: str = "attn"):
+        if dim % num_heads != 0:
+            raise TrainingError(f"model dim {dim} is not divisible by num_heads {num_heads}")
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.w_q = Linear(dim, dim, rng, name=f"{name}.w_q")
+        self.w_k = Linear(dim, dim, rng, name=f"{name}.w_k")
+        self.w_v = Linear(dim, dim, rng, name=f"{name}.w_v")
+        self.w_o = Linear(dim, dim, rng, name=f"{name}.w_o")
+        self._cache: tuple | None = None
+
+    def _split_heads(self, x: np.ndarray) -> np.ndarray:
+        batch, time, _ = x.shape
+        return x.reshape(batch, time, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def _merge_heads(self, x: np.ndarray) -> np.ndarray:
+        batch, heads, time, head_dim = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(batch, time, heads * head_dim)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        batch, time, _ = x.shape
+        q = self._split_heads(self.w_q.forward(x))
+        k = self._split_heads(self.w_k.forward(x))
+        v = self._split_heads(self.w_v.forward(x))
+
+        scale = 1.0 / math.sqrt(self.head_dim)
+        # (b, h, t, d) @ (b, h, d, s) -> (b, h, t, s); matmul dispatches to BLAS.
+        scores = (q @ k.transpose(0, 1, 3, 2)) * scale
+        causal_mask = np.triu(np.ones((time, time), dtype=bool), k=1)
+        scores = np.where(causal_mask, -1e30, scores)
+        attention = softmax(scores, axis=-1)
+        context = attention @ v
+
+        self._cache = (q, k, v, attention, scale)
+        return self.w_o.forward(self._merge_heads(context))
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        q, k, v, attention, scale = self._cache
+        dcontext = self._split_heads(self.w_o.backward(dout))
+
+        dattention = dcontext @ v.transpose(0, 1, 3, 2)
+        dv = attention.transpose(0, 1, 3, 2) @ dcontext
+
+        # Softmax backward: dscore = att * (datt - sum(datt * att)).
+        dscores = attention * (dattention - (dattention * attention).sum(axis=-1, keepdims=True))
+        dscores = dscores * scale
+
+        dq = dscores @ k
+        dk = dscores.transpose(0, 1, 3, 2) @ q
+
+        dx = self.w_q.backward(self._merge_heads(dq))
+        dx = dx + self.w_k.backward(self._merge_heads(dk))
+        dx = dx + self.w_v.backward(self._merge_heads(dv))
+        return dx
+
+
+class TransformerBlock(Layer):
+    """Pre-norm transformer block: LN → attention → residual, LN → MLP → residual."""
+
+    def __init__(self, dim: int, num_heads: int, hidden_dim: int, rng: np.random.Generator, *, name: str = "block"):
+        self.ln_1 = LayerNorm(dim, name=f"{name}.ln_1")
+        self.attention = CausalSelfAttention(dim, num_heads, rng, name=f"{name}.attn")
+        self.ln_2 = LayerNorm(dim, name=f"{name}.ln_2")
+        self.mlp = FeedForward(dim, hidden_dim, rng, name=f"{name}.mlp")
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = x + self.attention.forward(self.ln_1.forward(x))
+        x = x + self.mlp.forward(self.ln_2.forward(x))
+        return x
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        dmlp = self.mlp.backward(dout)
+        dx = dout + self.ln_2.backward(dmlp)
+        dattn = self.attention.backward(dx)
+        return dx + self.ln_1.backward(dattn)

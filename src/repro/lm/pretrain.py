@@ -1,0 +1,92 @@
+"""Causal-language-model pre-training on the synthetic corpus."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.lm.corpus import Corpus
+from repro.lm.optim import Adam
+from repro.lm.tokenizer import Tokenizer
+from repro.lm.transformer import ModelConfig, TransformerLM
+from repro.utils.rng import seeded_rng
+
+
+@dataclass(frozen=True)
+class PretrainConfig:
+    """Hyper-parameters for the pre-training loop."""
+
+    num_steps: int = 400
+    batch_size: int = 16
+    learning_rate: float = 3e-3
+    max_seq_len: int = 96
+    dim: int = 64
+    num_heads: int = 4
+    num_layers: int = 2
+    hidden_dim: int = 128
+    seed: int = 0
+
+
+@dataclass
+class PretrainResult:
+    """Artifacts of pre-training: the model, tokenizer and loss curve."""
+
+    model: TransformerLM
+    tokenizer: Tokenizer
+    losses: list = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else float("nan")
+
+
+def encode_documents(corpus: Corpus, max_seq_len: int) -> np.ndarray:
+    """Encode every document to a fixed-length id matrix (padded / truncated)."""
+    tokenizer = corpus.tokenizer
+    rows = []
+    for document in corpus.documents:
+        ids = tokenizer.encode(document, add_bos=True, add_eos=True)[:max_seq_len]
+        ids = ids + [tokenizer.pad_id] * (max_seq_len - len(ids))
+        rows.append(ids)
+    if not rows:
+        raise TrainingError("corpus is empty; nothing to pre-train on")
+    return np.asarray(rows, dtype=np.int64)
+
+
+def pretrain(corpus: Corpus, config: PretrainConfig | None = None, *, progress_every: int = 0) -> PretrainResult:
+    """Train a fresh :class:`TransformerLM` on the corpus with Adam.
+
+    Returns the trained model, its tokenizer and the per-step loss curve.
+    """
+    config = config or PretrainConfig()
+    rng = seeded_rng(config.seed)
+    data = encode_documents(corpus, config.max_seq_len)
+
+    model = TransformerLM(
+        ModelConfig(
+            vocab_size=corpus.tokenizer.vocab_size,
+            max_seq_len=config.max_seq_len,
+            dim=config.dim,
+            num_heads=config.num_heads,
+            num_layers=config.num_layers,
+            hidden_dim=config.hidden_dim,
+        ),
+        seed=config.seed,
+    )
+    optimizer = Adam(model.parameters(), learning_rate=config.learning_rate)
+
+    losses: list[float] = []
+    num_documents = data.shape[0]
+    for step in range(config.num_steps):
+        batch_idx = rng.integers(0, num_documents, size=min(config.batch_size, num_documents))
+        batch = data[batch_idx]
+        optimizer.zero_grad()
+        loss = model.cross_entropy(batch, pad_id=corpus.tokenizer.pad_id, backward=True)
+        optimizer.step()
+        losses.append(loss)
+        if progress_every and (step + 1) % progress_every == 0:  # pragma: no cover - console feedback only
+            print(f"[pretrain] step {step + 1}/{config.num_steps} loss={loss:.3f}")
+
+    return PretrainResult(model=model, tokenizer=corpus.tokenizer, losses=losses)

@@ -1,0 +1,97 @@
+"""Autoregressive sampling from the numpy language model."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lm.layers import softmax
+from repro.lm.tokenizer import Tokenizer
+from repro.lm.transformer import TransformerLM
+from repro.utils.rng import seeded_rng
+
+
+def sample_tokens(
+    model: TransformerLM,
+    prompt_ids: list,
+    *,
+    max_new_tokens: int = 64,
+    temperature: float = 1.0,
+    top_k: int | None = None,
+    stop_ids: tuple = (),
+    seed: int | np.random.Generator | None = None,
+) -> list:
+    """Sample a continuation of ``prompt_ids``; returns only the new token ids."""
+    rng = seeded_rng(seed)
+    ids = list(prompt_ids)
+    generated: list[int] = []
+    max_context = model.config.max_seq_len
+    for _ in range(max_new_tokens):
+        context = ids[-max_context:]
+        logits = model.forward(np.asarray([context], dtype=np.int64))[0, -1]
+        if temperature <= 0:
+            next_id = int(np.argmax(logits))
+        else:
+            scaled = logits / temperature
+            if top_k is not None and 0 < top_k < scaled.shape[0]:
+                cutoff = np.sort(scaled)[-top_k]
+                scaled = np.where(scaled < cutoff, -1e30, scaled)
+            probabilities = softmax(scaled)
+            next_id = int(rng.choice(len(probabilities), p=probabilities))
+        ids.append(next_id)
+        generated.append(next_id)
+        if next_id in stop_ids:
+            break
+    return generated
+
+
+def sample_response(
+    model: TransformerLM,
+    tokenizer: Tokenizer,
+    prompt: str,
+    *,
+    max_new_tokens: int = 72,
+    temperature: float = 0.9,
+    top_k: int | None = 20,
+    seed: int | np.random.Generator | None = None,
+) -> str:
+    """Sample a textual response for a textual prompt (stops at ``<eos>``)."""
+    prompt_ids = tokenizer.encode(prompt, add_bos=True)
+    generated = sample_tokens(
+        model,
+        prompt_ids,
+        max_new_tokens=max_new_tokens,
+        temperature=temperature,
+        top_k=top_k,
+        stop_ids=(tokenizer.eos_id,),
+        seed=seed,
+    )
+    if generated and generated[-1] == tokenizer.eos_id:
+        generated = generated[:-1]
+    return tokenizer.decode(generated)
+
+
+def sample_responses(
+    model: TransformerLM,
+    tokenizer: Tokenizer,
+    prompt: str,
+    num_samples: int,
+    *,
+    temperature: float = 0.9,
+    top_k: int | None = 20,
+    max_new_tokens: int = 72,
+    seed: int | None = None,
+) -> list:
+    """Draw several independent responses for the same prompt."""
+    rng = seeded_rng(seed)
+    return [
+        sample_response(
+            model,
+            tokenizer,
+            prompt,
+            max_new_tokens=max_new_tokens,
+            temperature=temperature,
+            top_k=top_k,
+            seed=rng,
+        )
+        for _ in range(num_samples)
+    ]

@@ -1,0 +1,123 @@
+"""LTL semantics over finite traces (LTLf) — the empirical-evaluation checker.
+
+The paper's empirical evaluation (Section 4.2) runs a controller in the
+simulator, collects a finite sequence of proposition/action sets
+``(2^P × 2^PA)^N`` and checks each sequence against the specifications.  Those
+sequences are finite, so we evaluate the specifications under the standard
+finite-trace (LTLf) semantics:
+
+* ``X φ`` is *strong* next: false at the last position.
+* ``G φ`` holds if φ holds at every remaining position.
+* ``F φ`` holds if φ holds at some remaining position.
+* ``φ U ψ`` requires ψ at some position with φ holding until then.
+* ``φ R ψ`` is the dual: ψ holds up to and including the first φ-position,
+  or for the whole remaining trace.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.automata.alphabet import Symbol, make_symbol
+from repro.logic.ast import (
+    And,
+    Atom,
+    Eventually,
+    FalseFormula,
+    Formula,
+    Always,
+    Implies,
+    Next,
+    Not,
+    Or,
+    Release,
+    TrueFormula,
+    Until,
+)
+
+Trace = Sequence  # Sequence[Symbol]
+
+
+def normalize_trace(trace: Sequence) -> list:
+    """Canonicalise a trace: every step becomes a frozenset of canonical atoms."""
+    out = []
+    for step in trace:
+        if isinstance(step, frozenset):
+            out.append(step)
+        else:
+            out.append(make_symbol(step))
+    return out
+
+
+def evaluate_at(formula: Formula, trace: Sequence, position: int) -> bool:
+    """Evaluate ``formula`` on ``trace`` starting at ``position`` (LTLf semantics)."""
+    n = len(trace)
+    if position >= n:
+        # The empty suffix: only `true`, `G φ` and `φ R ψ` hold vacuously.
+        if isinstance(formula, TrueFormula):
+            return True
+        if isinstance(formula, (Always, Release)):
+            return True
+        if isinstance(formula, Not):
+            return not evaluate_at(formula.operand, trace, position)
+        if isinstance(formula, And):
+            return evaluate_at(formula.left, trace, position) and evaluate_at(formula.right, trace, position)
+        if isinstance(formula, Or):
+            return evaluate_at(formula.left, trace, position) or evaluate_at(formula.right, trace, position)
+        if isinstance(formula, Implies):
+            return (not evaluate_at(formula.left, trace, position)) or evaluate_at(formula.right, trace, position)
+        return False
+
+    symbol: Symbol = trace[position]
+    if isinstance(formula, TrueFormula):
+        return True
+    if isinstance(formula, FalseFormula):
+        return False
+    if isinstance(formula, Atom):
+        return formula.name in symbol
+    if isinstance(formula, Not):
+        return not evaluate_at(formula.operand, trace, position)
+    if isinstance(formula, And):
+        return evaluate_at(formula.left, trace, position) and evaluate_at(formula.right, trace, position)
+    if isinstance(formula, Or):
+        return evaluate_at(formula.left, trace, position) or evaluate_at(formula.right, trace, position)
+    if isinstance(formula, Implies):
+        return (not evaluate_at(formula.left, trace, position)) or evaluate_at(formula.right, trace, position)
+    if isinstance(formula, Next):
+        return position + 1 < n and evaluate_at(formula.operand, trace, position + 1)
+    if isinstance(formula, Eventually):
+        return any(evaluate_at(formula.operand, trace, k) for k in range(position, n))
+    if isinstance(formula, Always):
+        return all(evaluate_at(formula.operand, trace, k) for k in range(position, n))
+    if isinstance(formula, Until):
+        for k in range(position, n):
+            if evaluate_at(formula.right, trace, k):
+                return all(evaluate_at(formula.left, trace, j) for j in range(position, k))
+        return False
+    if isinstance(formula, Release):
+        # ψ must hold up to and including the first position where φ holds,
+        # or throughout the remaining trace if φ never holds.
+        for k in range(position, n):
+            if not evaluate_at(formula.right, trace, k):
+                return any(evaluate_at(formula.left, trace, j) for j in range(position, k))
+        return True
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def evaluate_trace(formula: Formula, trace: Sequence) -> bool:
+    """Evaluate ``formula`` over a whole finite trace (from position 0).
+
+    An empty trace satisfies only formulas that hold vacuously (``true``,
+    ``G``-rooted and ``R``-rooted formulas).
+    """
+    trace = normalize_trace(trace)
+    return evaluate_at(formula, trace, 0)
+
+
+def satisfaction_fraction(formula: Formula, traces: Sequence) -> float:
+    """Fraction ``P_Φ`` of traces satisfying the formula (Eq. 2 of the paper)."""
+    traces = list(traces)
+    if not traces:
+        raise ValueError("satisfaction_fraction requires at least one trace")
+    satisfied = sum(1 for t in traces if evaluate_trace(formula, t))
+    return satisfied / len(traces)

@@ -1,0 +1,68 @@
+"""Reusable temporal-logic specification patterns.
+
+The paper's driving rule book (Appendix C) repeatedly uses a handful of
+shapes — "always, if trigger then eventually response", "never do X while Y",
+etc.  These helpers build those shapes from atom names so domain modules stay
+readable and new rule books are easy to write.
+"""
+
+from __future__ import annotations
+
+from repro.logic.ast import (
+    And,
+    Atom,
+    Eventually,
+    Formula,
+    Always,
+    Implies,
+    Not,
+    Or,
+    conjunction,
+    disjunction,
+)
+
+
+def response(trigger: str | Formula, reaction: str | Formula) -> Formula:
+    """``□(trigger → ♢ reaction)`` — e.g. Φ1: pedestrian ⇒ eventually stop."""
+    return Always(Implies(_formula(trigger), Eventually(_formula(reaction))))
+
+
+def prohibition(condition: str | Formula, action: str | Formula) -> Formula:
+    """``□(condition → ¬action)`` — e.g. Φ3: no green light ⇒ do not go straight."""
+    return Always(Implies(_formula(condition), Not(_formula(action))))
+
+
+def invariant(condition: str | Formula) -> Formula:
+    """``□ condition`` — a safety invariant."""
+    return Always(_formula(condition))
+
+
+def never(condition: str | Formula) -> Formula:
+    """``□ ¬condition``."""
+    return Always(Not(_formula(condition)))
+
+
+def one_of(*atoms: str) -> Formula:
+    """``□(a1 ∨ ... ∨ an)`` — e.g. Φ6: some action is always chosen."""
+    return Always(disjunction([Atom(a) for a in atoms]))
+
+
+def eventually_given(trigger: str | Formula, outcome: str | Formula) -> Formula:
+    """``♢ trigger → ♢ outcome`` — e.g. Φ7."""
+    return Implies(Eventually(_formula(trigger)), Eventually(_formula(outcome)))
+
+
+def conditional_requirement(action: str | Formula, requirement: str | Formula) -> Formula:
+    """``□(action → requirement)`` — acting requires the precondition."""
+    return Always(Implies(_formula(action), _formula(requirement)))
+
+
+def all_of(*formulas: Formula) -> Formula:
+    """Conjunction of several specifications (useful for combined checks)."""
+    return conjunction(list(formulas))
+
+
+def _formula(value: str | Formula) -> Formula:
+    if isinstance(value, Formula):
+        return value
+    return Atom(value)

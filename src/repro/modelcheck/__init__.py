@@ -1,0 +1,19 @@
+"""Model checking: the NuSMV-substitute LTL checker and the SMV-like DSL."""
+
+from repro.modelcheck.checker import (
+    ModelChecker,
+    VerificationReport,
+    VerificationResult,
+    verify_controller_against_specs,
+)
+from repro.modelcheck.counterexample import Counterexample, CounterexampleStep, make_counterexample
+
+__all__ = [
+    "ModelChecker",
+    "VerificationReport",
+    "VerificationResult",
+    "verify_controller_against_specs",
+    "Counterexample",
+    "CounterexampleStep",
+    "make_counterexample",
+]

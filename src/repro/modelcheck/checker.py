@@ -1,0 +1,256 @@
+"""Automata-theoretic LTL model checker (the NuSMV substitute).
+
+Checks ``M ⊗ C |= Φ`` (Eq. 1 of the paper) for an explicit-state Kripke
+structure: build a Büchi automaton for ``¬Φ``, form the synchronous product
+with the Kripke structure, and search for a reachable accepting cycle
+(a *lasso*).  If one exists the specification is violated and the lasso is
+returned as a counter-example; otherwise the specification holds for every
+possible initial state, exactly the verdict NuSMV would report.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.automata.buchi import BuchiAutomaton
+from repro.automata.fsa import FSAController
+from repro.automata.kripke import KripkeStructure
+from repro.automata.product import build_product
+from repro.automata.transition_system import TransitionSystem
+from repro.errors import VerificationError
+from repro.logic.ast import Formula, Not
+from repro.logic.ltl2buchi import ltl_to_buchi
+from repro.logic.parser import parse_ltl
+from repro.modelcheck.counterexample import Counterexample, make_counterexample
+
+
+@dataclass(frozen=True)
+class VerificationResult:
+    """Outcome of checking one specification against one structure."""
+
+    specification: Formula
+    holds: bool
+    counterexample: Counterexample | None = None
+    statistics: dict = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+    def describe(self) -> str:
+        verdict = "satisfied" if self.holds else "VIOLATED"
+        text = f"[{verdict}] {self.specification}"
+        if self.counterexample is not None:
+            text += "\n" + self.counterexample.describe()
+        return text
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """Results for a batch of specifications (one controller / one structure)."""
+
+    results: tuple
+
+    @property
+    def num_specifications(self) -> int:
+        return len(self.results)
+
+    @property
+    def num_satisfied(self) -> int:
+        return sum(1 for r in self.results if r.holds)
+
+    @property
+    def satisfaction_ratio(self) -> float:
+        if not self.results:
+            return 0.0
+        return self.num_satisfied / self.num_specifications
+
+    @property
+    def violated(self) -> list:
+        return [r for r in self.results if not r.holds]
+
+    def describe(self) -> str:
+        lines = [f"{self.num_satisfied}/{self.num_specifications} specifications satisfied"]
+        lines.extend(r.describe().splitlines()[0] for r in self.results)
+        return "\n".join(lines)
+
+
+class ModelChecker:
+    """Explicit-state LTL model checker over Kripke structures.
+
+    Parameters
+    ----------
+    max_product_states:
+        Safety limit on the size of the Kripke × Büchi product; exceeded sizes
+        raise :class:`~repro.errors.VerificationError` rather than hanging.
+    """
+
+    def __init__(self, max_product_states: int = 200_000):
+        self.max_product_states = max_product_states
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def check(self, kripke: KripkeStructure, specification: Formula | str) -> VerificationResult:
+        """Check one LTL specification against a Kripke structure."""
+        formula = parse_ltl(specification) if isinstance(specification, str) else specification
+        negated_automaton = ltl_to_buchi(Not(formula), name=f"neg({formula})")
+        lasso, stats = self._find_accepting_lasso(kripke, negated_automaton)
+        if lasso is None:
+            return VerificationResult(formula, True, None, stats)
+        prefix_states, cycle_states = lasso
+        counterexample = make_counterexample(
+            [s for s, _ in prefix_states],
+            [s for s, _ in cycle_states],
+            kripke.label,
+        )
+        return VerificationResult(formula, False, counterexample, stats)
+
+    def check_all(self, kripke: KripkeStructure, specifications: Iterable) -> VerificationReport:
+        """Check a batch of specifications and return a combined report."""
+        results = tuple(self.check(kripke, spec) for spec in specifications)
+        return VerificationReport(results)
+
+    def verify_controller(
+        self,
+        model: TransitionSystem,
+        controller: FSAController,
+        specifications: Iterable,
+        *,
+        restart_on_termination: bool = True,
+    ) -> VerificationReport:
+        """``M ⊗ C |= Φ_i`` for every Φ_i: the feedback primitive of DPO-AF.
+
+        ``restart_on_termination`` keeps the transition relation total after
+        the controller's final step (the paper's SMV default case); see
+        :func:`repro.automata.product.build_product`.
+        """
+        product = build_product(model, controller, restart_on_termination=restart_on_termination)
+        return self.check_all(product, specifications)
+
+    # ------------------------------------------------------------------ #
+    # Emptiness check of KS × NBA
+    # ------------------------------------------------------------------ #
+    def _find_accepting_lasso(self, kripke: KripkeStructure, nba: BuchiAutomaton):
+        """Search the synchronous product for a reachable accepting cycle.
+
+        Returns ``((prefix, cycle), stats)`` where prefix/cycle are lists of
+        product states ``(kripke_state, nba_state)``; ``(None, stats)`` when the
+        product language is empty (the specification holds).
+        """
+        kripke.validate()
+        nba.validate()
+
+        # Pre-index NBA transitions by source for fast lookup.
+        nba_out: dict = {}
+        for t in nba.transitions:
+            nba_out.setdefault(t.source, []).append(t)
+
+        def nba_successors(b, symbol):
+            return [t.target for t in nba_out.get(b, ()) if t.constraint.satisfied_by(symbol)]
+
+        # Initial product states: (s0, b) with b reachable from an NBA initial
+        # state by reading L(s0).
+        initial_product: list = []
+        for s0 in kripke.initial_states:
+            label = kripke.label(s0)
+            for b0 in nba.initial_states:
+                for b in nba_successors(b0, label):
+                    initial_product.append((s0, b))
+
+        successors_cache: dict = {}
+
+        def product_successors(state):
+            if state in successors_cache:
+                return successors_cache[state]
+            s, b = state
+            out = []
+            for s_next in kripke.successors(s):
+                label_next = kripke.label(s_next)
+                for b_next in nba_successors(b, label_next):
+                    out.append((s_next, b_next))
+            successors_cache[state] = out
+            return out
+
+        # Forward reachability (BFS) from initial product states.
+        parents: dict = {}
+        order: list = []
+        queue = deque()
+        for init in initial_product:
+            if init not in parents:
+                parents[init] = None
+                queue.append(init)
+        while queue:
+            state = queue.popleft()
+            order.append(state)
+            if len(order) > self.max_product_states:
+                raise VerificationError(
+                    f"product exceeded {self.max_product_states} states; "
+                    "increase max_product_states or simplify the specification"
+                )
+            for succ in product_successors(state):
+                if succ not in parents:
+                    parents[succ] = state
+                    queue.append(succ)
+
+        stats = {
+            "product_states": len(order),
+            "nba_states": nba.num_states,
+            "kripke_states": kripke.num_states,
+        }
+
+        accepting = [state for state in order if state[1] in nba.accepting_states]
+
+        # For each reachable accepting state, look for a cycle back to it.
+        for target in accepting:
+            cycle = self._find_cycle(target, product_successors)
+            if cycle is not None:
+                prefix = self._path_from_parents(parents, target)
+                prefix_pairs = prefix[:-1]  # the target itself starts the cycle
+                return (prefix_pairs, cycle), stats
+        return None, stats
+
+    @staticmethod
+    def _find_cycle(target, product_successors):
+        """BFS from the successors of ``target`` back to ``target``; returns the cycle."""
+        parents: dict = {}
+        queue = deque()
+        for succ in product_successors(target):
+            if succ == target:
+                return [target]
+            if succ not in parents:
+                parents[succ] = None
+                queue.append(succ)
+        while queue:
+            state = queue.popleft()
+            for succ in product_successors(state):
+                if succ == target:
+                    # Reconstruct target -> ... -> state -> target as a cycle.
+                    path = [state]
+                    while parents[path[-1]] is not None:
+                        path.append(parents[path[-1]])
+                    return [target] + list(reversed(path))
+                if succ not in parents:
+                    parents[succ] = state
+                    queue.append(succ)
+        return None
+
+    @staticmethod
+    def _path_from_parents(parents: Mapping, target) -> list:
+        path = [target]
+        while parents[path[-1]] is not None:
+            path.append(parents[path[-1]])
+        return list(reversed(path))
+
+
+def verify_controller_against_specs(
+    model: TransitionSystem,
+    controller: FSAController,
+    specifications: Iterable,
+    *,
+    checker: ModelChecker | None = None,
+) -> VerificationReport:
+    """Module-level convenience wrapper around :meth:`ModelChecker.verify_controller`."""
+    checker = checker or ModelChecker()
+    return checker.verify_controller(model, controller, specifications)

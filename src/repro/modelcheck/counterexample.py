@@ -1,0 +1,73 @@
+"""Counter-example traces returned by the model checker.
+
+When ``M ⊗ C ⊭ Φ`` the checker returns a *lasso*: a finite prefix followed by
+a cycle, exactly as NuSMV reports violating traces.  Each step records the
+product state and its label (``λ_M(p) ∪ a``), matching the trace format
+``(p_1, q_1, c_1 ∪ a_1), (p_2, q_2, c_2 ∪ a_2), ...`` from Section 4.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.automata.alphabet import Symbol, format_symbol
+
+
+@dataclass(frozen=True)
+class CounterexampleStep:
+    """One step of a counter-example: a product state and its label."""
+
+    state: object
+    label: Symbol
+
+    def __str__(self) -> str:
+        return f"{self.state}: {format_symbol(self.label)}"
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """A lasso-shaped violating trace: ``prefix`` followed by a repeating ``cycle``."""
+
+    prefix: tuple = ()
+    cycle: tuple = ()
+
+    @property
+    def steps(self) -> tuple:
+        """Prefix and one unrolling of the cycle, in order."""
+        return tuple(self.prefix) + tuple(self.cycle)
+
+    @property
+    def states(self) -> list:
+        """The product states visited (prefix + one cycle unrolling)."""
+        return [step.state for step in self.steps]
+
+    @property
+    def labels(self) -> list:
+        """The symbol sequence of the violating trace (prefix + one cycle)."""
+        return [step.label for step in self.steps]
+
+    def finite_unrolling(self, repetitions: int = 2) -> list:
+        """Labels of the prefix followed by ``repetitions`` unrollings of the cycle."""
+        return [s.label for s in self.prefix] + [s.label for s in self.cycle] * repetitions
+
+    def describe(self) -> str:
+        """Readable multi-line rendering, cycle marked as in NuSMV's ``-- Loop``."""
+        lines = ["Counterexample trace:"]
+        for step in self.prefix:
+            lines.append(f"  {step}")
+        if self.cycle:
+            lines.append("  -- Loop starts here --")
+            for step in self.cycle:
+                lines.append(f"  {step}")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.prefix) + len(self.cycle)
+
+
+def make_counterexample(prefix_states: Sequence, cycle_states: Sequence, label_of) -> Counterexample:
+    """Build a :class:`Counterexample` from state sequences and a labeling function."""
+    prefix = tuple(CounterexampleStep(s, label_of(s)) for s in prefix_states)
+    cycle = tuple(CounterexampleStep(s, label_of(s)) for s in cycle_states)
+    return Counterexample(prefix=prefix, cycle=cycle)

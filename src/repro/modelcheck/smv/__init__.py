@@ -1,0 +1,21 @@
+"""NuSMV-like module language: parser, explicit-state compiler, emitter."""
+
+from repro.modelcheck.smv.ast import CaseBranch, InitAssign, LTLSpec, SMVModule, SMVProgram, VarDecl
+from repro.modelcheck.smv.compiler import CompiledModule, compile_module
+from repro.modelcheck.smv.emitter import controller_to_smv, specifications_to_smv, verification_script
+from repro.modelcheck.smv.parser import parse_smv
+
+__all__ = [
+    "CaseBranch",
+    "InitAssign",
+    "LTLSpec",
+    "SMVModule",
+    "SMVProgram",
+    "VarDecl",
+    "CompiledModule",
+    "compile_module",
+    "controller_to_smv",
+    "specifications_to_smv",
+    "verification_script",
+    "parse_smv",
+]

@@ -1,0 +1,88 @@
+"""AST for the NuSMV-like module language used in the paper's Appendix D."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class VarDecl:
+    """A variable declaration: boolean (``values is None``) or an enumeration."""
+
+    name: str
+    values: tuple | None = None  # None => boolean
+
+    @property
+    def is_boolean(self) -> bool:
+        return self.values is None
+
+    @property
+    def domain(self) -> tuple:
+        return (False, True) if self.is_boolean else tuple(self.values)
+
+
+@dataclass(frozen=True)
+class InitAssign:
+    """``init(var) := value;`` from an ASSIGN section."""
+
+    variable: str
+    value: object
+
+
+@dataclass(frozen=True)
+class CaseBranch:
+    """``condition : next(var) = value;`` inside a TRANS case block.
+
+    ``condition`` is a guard-expression string over the module's variables
+    (``var`` for booleans, ``var = value`` comparisons are normalised to a
+    pseudo-atom ``var__eq__value`` by the compiler).
+    """
+
+    condition: str
+    variable: str
+    value: object
+
+
+@dataclass(frozen=True)
+class LTLSpec:
+    """``LTLSPEC NAME name := formula;``"""
+
+    name: str
+    formula: str
+
+
+@dataclass
+class SMVModule:
+    """One ``MODULE``: variables, initial assignments, TRANS branches, specs."""
+
+    name: str
+    variables: list = field(default_factory=list)
+    init_assigns: list = field(default_factory=list)
+    trans_branches: list = field(default_factory=list)
+    specs: list = field(default_factory=list)
+
+    def variable(self, name: str) -> VarDecl | None:
+        for decl in self.variables:
+            if decl.name == name:
+                return decl
+        return None
+
+    def boolean_variables(self) -> list:
+        return [v for v in self.variables if v.is_boolean]
+
+    def enum_variables(self) -> list:
+        return [v for v in self.variables if not v.is_boolean]
+
+
+@dataclass
+class SMVProgram:
+    """A parsed SMV file: several modules plus file-level LTL specifications."""
+
+    modules: list = field(default_factory=list)
+    specs: list = field(default_factory=list)
+
+    def module(self, name: str) -> SMVModule | None:
+        for mod in self.modules:
+            if mod.name == name:
+                return mod
+        return None

@@ -1,0 +1,150 @@
+"""Compile an SMV-like module into an explicit Kripke structure.
+
+Semantics of the supported subset:
+
+* Boolean variables without any ``next``/``TRANS`` constraint are treated as
+  free environment inputs: they may change arbitrarily at every step (this is
+  exactly how the paper's Appendix-D modules model observations such as
+  ``car_from_left``).
+* Enumerated variables (typically ``action``) are driven by the TRANS ``case``
+  block: the first branch whose condition holds in the *current* state
+  determines the allowed ``next`` values (NuSMV's priority-case semantics);
+  if no branch matches, the variable may keep any value (non-deterministic).
+* ``init(var) := value`` restricts the initial states.
+
+The resulting Kripke state label contains the names of the boolean variables
+that are true plus the current value of every enumerated variable (so a spec
+can simply mention ``stop`` or ``turn_right`` as an atom, as the paper does).
+"""
+
+from __future__ import annotations
+
+from itertools import product as iter_product
+
+from repro.automata.guards import Guard, parse_guard
+from repro.automata.kripke import KripkeStructure
+from repro.errors import SMVSyntaxError
+from repro.modelcheck.smv.ast import SMVModule
+
+
+def _normalise_condition(condition: str) -> str:
+    """Rewrite ``var = value`` and ``action=val`` comparisons into pseudo-atoms.
+
+    The guard parser only understands propositional atoms, so an equality such
+    as ``action = turn_left`` is rewritten to the atom ``turn_left`` (the value
+    itself is part of the state label).  ``TRUE``/``FALSE`` keywords pass
+    through unchanged.
+    """
+    import re
+
+    def replace(match: "re.Match") -> str:
+        return match.group(2)
+
+    text = re.sub(r"(\w+)\s*=\s*(\w+)", replace, condition)
+    return text
+
+
+class CompiledModule:
+    """An SMV module compiled to an explicit state space."""
+
+    def __init__(self, module: SMVModule, max_states: int = 20_000):
+        self.module = module
+        self.max_states = max_states
+        self._branch_guards: list[tuple[Guard, str, object]] = []
+        for branch in module.trans_branches:
+            guard = parse_guard(_normalise_condition(branch.condition))
+            self._branch_guards.append((guard, branch.variable, branch.value))
+
+    # ------------------------------------------------------------------ #
+    def state_space(self) -> list:
+        """Enumerate all variable assignments as dictionaries."""
+        names = [v.name for v in self.module.variables]
+        domains = [v.domain for v in self.module.variables]
+        total = 1
+        for domain in domains:
+            total *= len(domain)
+        if total > self.max_states:
+            raise SMVSyntaxError(
+                f"module {self.module.name!r} has {total} states which exceeds the "
+                f"limit of {self.max_states}; restrict the variable set"
+            )
+        return [dict(zip(names, values)) for values in iter_product(*domains)]
+
+    def label_of(self, assignment: dict) -> frozenset:
+        """Kripke label: true booleans plus values of enumerated variables."""
+        label = set()
+        for decl in self.module.variables:
+            value = assignment[decl.name]
+            if decl.is_boolean:
+                if value:
+                    label.add(decl.name)
+            else:
+                label.add(str(value))
+        return frozenset(label)
+
+    def _constrained_next_values(self, assignment: dict) -> dict:
+        """For each case-driven variable, the set of allowed next values."""
+        label = self.label_of(assignment)
+        allowed: dict = {}
+        decided: set = set()
+        for guard, variable, value in self._branch_guards:
+            if variable in decided:
+                continue
+            if guard.evaluate(label):
+                allowed.setdefault(variable, set()).add(value)
+                # NuSMV case blocks are priority-ordered: later branches for the
+                # same variable are ignored once one matched — unless several
+                # consecutive branches share the same condition text.
+                decided.add(variable)
+        return allowed
+
+    def is_initial(self, assignment: dict) -> bool:
+        for init in self.module.init_assigns:
+            if assignment.get(init.variable) != init.value:
+                return False
+        return True
+
+    def successors(self, assignment: dict) -> list:
+        """All assignments reachable in one step under the TRANS semantics."""
+        allowed = self._constrained_next_values(assignment)
+        names = [v.name for v in self.module.variables]
+        domains = []
+        for decl in self.module.variables:
+            if decl.name in allowed:
+                domains.append(sorted(allowed[decl.name], key=str))
+            else:
+                constrained = any(decl.name == var for _, var, _ in self._branch_guards)
+                if constrained:
+                    # Case-driven variable with no matching branch: hold or move freely.
+                    domains.append(list(decl.domain))
+                else:
+                    # Free environment input.
+                    domains.append(list(decl.domain))
+        return [dict(zip(names, values)) for values in iter_product(*domains)]
+
+    # ------------------------------------------------------------------ #
+    def to_kripke(self) -> KripkeStructure:
+        """Build the full explicit Kripke structure for the module."""
+        kripke = KripkeStructure(name=self.module.name)
+        assignments = self.state_space()
+        keys = [tuple(sorted(a.items(), key=lambda kv: kv[0])) for a in assignments]
+        for key, assignment in zip(keys, assignments):
+            kripke.add_state(key, self.label_of(assignment), initial=self.is_initial(assignment))
+        index = {k: a for k, a in zip(keys, assignments)}
+        for key, assignment in index.items():
+            for succ in self.successors(assignment):
+                succ_key = tuple(sorted(succ.items(), key=lambda kv: kv[0]))
+                if succ_key in index:
+                    kripke.add_transition(key, succ_key)
+        if not kripke.initial_states:
+            # No init constraints: every state may start.
+            for key in keys:
+                kripke.initial_states.add(key)
+        kripke.make_total()
+        kripke.validate()
+        return kripke
+
+
+def compile_module(module: SMVModule, max_states: int = 20_000) -> KripkeStructure:
+    """Compile an :class:`SMVModule` straight to a :class:`KripkeStructure`."""
+    return CompiledModule(module, max_states=max_states).to_kripke()

@@ -1,0 +1,175 @@
+"""Parser for the NuSMV-like subset used by the paper (Appendix D).
+
+Supported constructs::
+
+    MODULE name
+    VAR
+        flag : boolean;
+        action : {stop, turn_left, turn_right, go_straight};
+    ASSIGN
+        init(action) := stop;
+    TRANS
+        case
+            !flag : next(action) = stop;
+            flag & other : next(action) = turn_left;
+            TRUE : next(action) = stop;
+        esac;
+    LTLSPEC NAME phi_1 := G( pedestrian -> F action=stop );
+
+The parser is line-oriented and intentionally forgiving about whitespace; it
+is not a full NuSMV front end, only enough to round-trip the paper's modules.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import SMVSyntaxError
+from repro.modelcheck.smv.ast import CaseBranch, InitAssign, LTLSpec, SMVModule, SMVProgram
+
+_MODULE_RE = re.compile(r"^\s*MODULE\s+(\w+)\s*$", re.IGNORECASE)
+_BOOL_VAR_RE = re.compile(r"^\s*(\w+)\s*:\s*boolean\s*;\s*$", re.IGNORECASE)
+_ENUM_VAR_RE = re.compile(r"^\s*(\w+)\s*:\s*\{([^}]*)\}\s*;\s*$")
+_INIT_RE = re.compile(r"^\s*init\s*\(\s*(\w+)\s*\)\s*:=\s*([\w]+)\s*;\s*$", re.IGNORECASE)
+_CASE_BRANCH_RE = re.compile(r"^\s*(.+?)\s*:\s*next\s*\(\s*(\w+)\s*\)\s*=\s*([\w]+)\s*;?\s*$")
+_ASSIGN_NEXT_CASE_START_RE = re.compile(r"^\s*next\s*\(\s*(\w+)\s*\)\s*:=\s*$", re.IGNORECASE)
+_ASSIGN_CASE_BRANCH_RE = re.compile(r"^\s*(.+?)\s*:\s*([\w{},\s]+?)\s*;\s*$")
+_LTLSPEC_RE = re.compile(r"^\s*LTLSPEC(?:\s+NAME\s+(\w+)\s*:?=)?\s*(.*)$", re.IGNORECASE)
+
+from repro.modelcheck.smv.ast import VarDecl  # noqa: E402  (kept close to usage)
+
+
+def parse_smv(text: str) -> SMVProgram:
+    """Parse an SMV-like source string into an :class:`SMVProgram`."""
+    program = SMVProgram()
+    current: SMVModule | None = None
+    section: str | None = None
+    in_case = False
+    assign_case_var: str | None = None
+    pending_spec: list[str] | None = None
+    pending_spec_name: str | None = None
+
+    def finish_spec() -> None:
+        nonlocal pending_spec, pending_spec_name
+        if pending_spec is not None:
+            formula = " ".join(pending_spec).rstrip(";").strip()
+            spec = LTLSpec(pending_spec_name or f"spec_{len(program.specs) + 1}", formula)
+            program.specs.append(spec)
+            if current is not None:
+                current.specs.append(spec)
+            pending_spec = None
+            pending_spec_name = None
+
+    for raw_line in text.splitlines():
+        line = raw_line.split("--")[0].rstrip()  # strip NuSMV comments
+        if not line.strip():
+            continue
+
+        if pending_spec is not None:
+            # Multi-line LTLSPEC continues until a line ending with ';'.
+            pending_spec.append(line.strip())
+            if line.strip().endswith(";"):
+                finish_spec()
+            continue
+
+        module_match = _MODULE_RE.match(line)
+        if module_match:
+            finish_spec()
+            current = SMVModule(name=module_match.group(1))
+            program.modules.append(current)
+            section = None
+            in_case = False
+            continue
+
+        upper = line.strip().upper()
+        if upper == "VAR":
+            section = "VAR"
+            continue
+        if upper == "ASSIGN":
+            section = "ASSIGN"
+            continue
+        if upper == "TRANS":
+            section = "TRANS"
+            continue
+        if upper == "CASE":
+            in_case = True
+            continue
+        if upper in {"ESAC;", "ESAC"}:
+            in_case = False
+            assign_case_var = None
+            continue
+
+        spec_match = _LTLSPEC_RE.match(line)
+        if spec_match:
+            pending_spec_name = spec_match.group(1)
+            remainder = spec_match.group(2).strip()
+            pending_spec = [remainder] if remainder else []
+            if remainder.endswith(";"):
+                finish_spec()
+            continue
+
+        if current is None:
+            raise SMVSyntaxError(f"statement outside of a MODULE: {line!r}")
+
+        if section == "VAR":
+            bool_match = _BOOL_VAR_RE.match(line)
+            if bool_match:
+                current.variables.append(VarDecl(bool_match.group(1)))
+                continue
+            enum_match = _ENUM_VAR_RE.match(line)
+            if enum_match:
+                values = tuple(v.strip() for v in enum_match.group(2).split(",") if v.strip())
+                current.variables.append(VarDecl(enum_match.group(1), values))
+                continue
+            raise SMVSyntaxError(f"cannot parse VAR declaration: {line!r}")
+
+        if section == "ASSIGN":
+            init_match = _INIT_RE.match(line)
+            if init_match:
+                current.init_assigns.append(InitAssign(init_match.group(1), _coerce(init_match.group(2))))
+                continue
+            next_case = _ASSIGN_NEXT_CASE_START_RE.match(line)
+            if next_case:
+                assign_case_var = next_case.group(1)
+                continue
+            if in_case and assign_case_var is not None:
+                branch = _ASSIGN_CASE_BRANCH_RE.match(line)
+                if branch:
+                    for value in _split_value_set(branch.group(2)):
+                        current.trans_branches.append(
+                            CaseBranch(branch.group(1).strip(), assign_case_var, _coerce(value))
+                        )
+                    continue
+            raise SMVSyntaxError(f"cannot parse ASSIGN statement: {line!r}")
+
+        if section == "TRANS":
+            if in_case:
+                branch = _CASE_BRANCH_RE.match(line)
+                if branch:
+                    current.trans_branches.append(
+                        CaseBranch(branch.group(1).strip(), branch.group(2), _coerce(branch.group(3)))
+                    )
+                    continue
+            raise SMVSyntaxError(f"cannot parse TRANS statement: {line!r}")
+
+        raise SMVSyntaxError(f"statement outside of a recognised section: {line!r}")
+
+    finish_spec()
+    return program
+
+
+def _coerce(value: str):
+    value = value.strip()
+    if value.upper() == "TRUE":
+        return True
+    if value.upper() == "FALSE":
+        return False
+    return value
+
+
+def _split_value_set(text: str) -> list:
+    """``{a, b}`` → ``[a, b]``; a plain value → ``[value]``."""
+    text = text.strip()
+    if text.startswith("{") and text.endswith("}"):
+        return [v.strip() for v in text[1:-1].split(",") if v.strip()]
+    return [text]

@@ -1,0 +1,19 @@
+"""The driving simulator (Carla substitute): agents, world, executor, traces."""
+
+from repro.sim.agents import AgentSet, PedestrianAgent, StopSignAgent, TrafficLightAgent, VehicleAgent
+from repro.sim.executor import ControllerExecutor, SimulationGrounding
+from repro.sim.traces import Trace, TraceStep
+from repro.sim.world import DrivingWorld
+
+__all__ = [
+    "AgentSet",
+    "PedestrianAgent",
+    "StopSignAgent",
+    "TrafficLightAgent",
+    "VehicleAgent",
+    "ControllerExecutor",
+    "SimulationGrounding",
+    "Trace",
+    "TraceStep",
+    "DrivingWorld",
+]

@@ -1,0 +1,163 @@
+"""Environment agents of the driving simulator (the Carla substitute).
+
+Each agent owns a small piece of world state (a light phase, an approaching
+vehicle, a crossing pedestrian) and exposes the propositions it makes true.
+The agents are deliberately richer than the abstract world models — phases
+have stochastic durations, vehicles have distances and speeds — so empirical
+evaluation genuinely exercises a different substrate than formal verification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.validation import check_probability
+
+
+@dataclass
+class TrafficLightAgent:
+    """A traffic light cycling green → red → green with random phase lengths.
+
+    ``kind`` selects which proposition a green phase asserts:
+    ``"traffic"`` → ``green_traffic_light``; ``"left_turn"`` → ``green_left_turn_light``.
+    """
+
+    kind: str = "traffic"
+    green_duration: tuple = (3, 6)
+    red_duration: tuple = (2, 5)
+    is_green: bool = True
+    _remaining: int = 0
+
+    def reset(self, rng: np.random.Generator) -> None:
+        self.is_green = bool(rng.random() < 0.55)
+        low, high = self.green_duration if self.is_green else self.red_duration
+        self._remaining = int(rng.integers(low, high + 1))
+
+    def step(self, rng: np.random.Generator) -> None:
+        self._remaining -= 1
+        if self._remaining <= 0:
+            self.is_green = not self.is_green
+            low, high = self.green_duration if self.is_green else self.red_duration
+            self._remaining = int(rng.integers(low, high + 1))
+
+    def propositions(self) -> set:
+        if not self.is_green:
+            return set()
+        return {"green_traffic_light"} if self.kind == "traffic" else {"green_left_turn_light"}
+
+
+@dataclass
+class VehicleAgent:
+    """A vehicle approaching from a direction; visible while within range.
+
+    ``direction`` is one of ``left``, ``right``, ``opposite``; the asserted
+    proposition is ``car_from_left``, ``car_from_right`` or ``opposite_car``.
+    """
+
+    direction: str = "left"
+    spawn_probability: float = 0.25
+    distance: float = -1.0           # < 0 means no vehicle present
+    speed_range: tuple = (1.0, 2.5)
+    detection_range: float = 6.0
+    speed: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_probability("spawn_probability", self.spawn_probability)
+
+    def reset(self, rng: np.random.Generator) -> None:
+        if rng.random() < self.spawn_probability:
+            self.distance = float(rng.uniform(1.0, self.detection_range))
+            self.speed = float(rng.uniform(*self.speed_range))
+        else:
+            self.distance = -1.0
+
+    def step(self, rng: np.random.Generator) -> None:
+        if self.distance >= 0:
+            self.distance -= self.speed
+            if self.distance < 0:
+                self.distance = -1.0  # passed through the intersection
+        elif rng.random() < self.spawn_probability:
+            self.distance = float(rng.uniform(self.detection_range * 0.7, self.detection_range * 1.5))
+            self.speed = float(rng.uniform(*self.speed_range))
+
+    @property
+    def visible(self) -> bool:
+        return 0 <= self.distance <= self.detection_range
+
+    def propositions(self) -> set:
+        if not self.visible:
+            return set()
+        return {
+            "left": {"car_from_left"},
+            "right": {"car_from_right"},
+            "opposite": {"opposite_car"},
+        }[self.direction]
+
+
+@dataclass
+class PedestrianAgent:
+    """A pedestrian that occasionally crosses; position selects the proposition."""
+
+    position: str = "right"           # "left", "right" or "front"
+    spawn_probability: float = 0.18
+    crossing_steps: tuple = (1, 3)
+    _remaining: int = 0
+
+    def __post_init__(self) -> None:
+        check_probability("spawn_probability", self.spawn_probability)
+
+    def reset(self, rng: np.random.Generator) -> None:
+        self._remaining = int(rng.integers(*self.crossing_steps)) if rng.random() < self.spawn_probability else 0
+
+    def step(self, rng: np.random.Generator) -> None:
+        if self._remaining > 0:
+            self._remaining -= 1
+        elif rng.random() < self.spawn_probability:
+            self._remaining = int(rng.integers(self.crossing_steps[0], self.crossing_steps[1] + 1))
+
+    @property
+    def crossing(self) -> bool:
+        return self._remaining > 0
+
+    def propositions(self) -> set:
+        if not self.crossing:
+            return set()
+        props = {f"pedestrian_at_{self.position}"} if self.position in ("left", "right") else {"pedestrian_in_front"}
+        return props | {"pedestrian"}
+
+
+@dataclass
+class StopSignAgent:
+    """A static stop sign: always asserts ``stop_sign``."""
+
+    def reset(self, rng: np.random.Generator) -> None:  # noqa: ARG002 - uniform interface
+        return None
+
+    def step(self, rng: np.random.Generator) -> None:  # noqa: ARG002 - uniform interface
+        return None
+
+    def propositions(self) -> set:
+        return {"stop_sign"}
+
+
+@dataclass
+class AgentSet:
+    """The collection of agents populating one scenario."""
+
+    agents: list = field(default_factory=list)
+
+    def reset(self, rng: np.random.Generator) -> None:
+        for agent in self.agents:
+            agent.reset(rng)
+
+    def step(self, rng: np.random.Generator) -> None:
+        for agent in self.agents:
+            agent.step(rng)
+
+    def propositions(self) -> set:
+        props: set = set()
+        for agent in self.agents:
+            props |= agent.propositions()
+        return props

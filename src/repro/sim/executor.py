@@ -1,0 +1,107 @@
+"""Executing FSA controllers inside the driving world (the grounding method G).
+
+``G : C × S → (2^P × 2^PA)^N`` — run the controller in the system and return
+the sequence of observed propositions and chosen actions (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.automata.fsa import FSAController
+from repro.errors import SimulationError
+from repro.sim.traces import Trace
+from repro.sim.world import DrivingWorld
+from repro.utils.rng import seeded_rng
+
+
+@dataclass
+class ControllerExecutor:
+    """Runs one controller in one scenario world and records traces.
+
+    Parameters
+    ----------
+    scenario:
+        Scenario name (same identifiers as the world models).
+    max_steps:
+        Episode length cap ``N``.
+    restart_on_termination:
+        When the controller exhausts its steps without completing the
+        manoeuvre it restarts from ``q0`` (matching the formal-verification
+        convention); otherwise it idles.
+    observation_filter:
+        Optional callable mapping the true observation set to the observation
+        the controller actually receives — the hook used to inject the
+        simulated perception stack (detection misses / false positives).
+    """
+
+    scenario: str
+    max_steps: int = 30
+    restart_on_termination: bool = True
+    observation_filter: Callable | None = None
+
+    def run_episode(self, controller: FSAController, seed: int | np.random.Generator | None = None) -> Trace:
+        """One rollout of the controller; returns the recorded trace."""
+        controller.validate()
+        rng = seeded_rng(seed)
+        world = DrivingWorld(self.scenario, seed=rng, max_steps=self.max_steps)
+        trace = Trace(scenario=self.scenario, controller=controller.name)
+
+        state = controller.initial_state
+        while not world.done:
+            true_observation = frozenset(world.observations())
+            observation = (
+                frozenset(self.observation_filter(true_observation, rng))
+                if self.observation_filter is not None
+                else true_observation
+            )
+            moves = controller.step(state, observation)
+            if not moves:
+                if self.restart_on_termination and state != controller.initial_state:
+                    state = controller.initial_state
+                    moves = controller.step(state, observation)
+            if moves:
+                action_symbol, next_state = moves[int(rng.integers(len(moves)))]
+                state = next_state
+            else:
+                action_symbol = frozenset()
+            trace.append(true_observation, action_symbol)
+            ego_action = sorted(action_symbol)[0] if action_symbol else None
+            world.apply_action(ego_action)
+
+        trace.terminated = world.completed
+        return trace
+
+    def collect_traces(self, controller: FSAController, num_traces: int, seed: int | None = None) -> list:
+        """Several independent rollouts (different episode seeds)."""
+        if num_traces <= 0:
+            raise SimulationError(f"num_traces must be positive, got {num_traces}")
+        rng = seeded_rng(seed)
+        return [self.run_episode(controller, seed=rng) for _ in range(num_traces)]
+
+
+class SimulationGrounding:
+    """Adapter exposing the executor with the grounding-callable signature.
+
+    Matches the interface expected by
+    :class:`repro.feedback.empirical.EmpiricalEvaluator`:
+    ``grounding(controller, num_traces, seed) -> list[list[Symbol]]``.
+    """
+
+    def __init__(self, scenario: str, *, max_steps: int = 30, observation_filter: Callable | None = None):
+        self.executor = ControllerExecutor(
+            scenario,
+            max_steps=max_steps,
+            observation_filter=observation_filter,
+        )
+
+    def __call__(self, controller: FSAController, num_traces: int, seed: int | None = None) -> list:
+        traces = self.executor.collect_traces(controller, num_traces, seed=seed)
+        return [trace.symbols() for trace in traces]
+
+    def raw_traces(self, controller: FSAController, num_traces: int, seed: int | None = None) -> list:
+        """The full :class:`~repro.sim.traces.Trace` objects (with metadata)."""
+        return self.executor.collect_traces(controller, num_traces, seed=seed)

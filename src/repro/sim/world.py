@@ -1,0 +1,113 @@
+"""The driving world: scenario-specific agent populations and ego dynamics.
+
+This is the reproduction's stand-in for the Carla simulator: at every tick the
+world advances its agents, produces the set of propositions the ego vehicle
+can observe (Figure 10's "obtaining system information"), and tracks whether
+the ego's manoeuvre has been completed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.driving.propositions import DRIVING_ACTIONS
+from repro.errors import SimulationError
+from repro.sim.agents import AgentSet, PedestrianAgent, StopSignAgent, TrafficLightAgent, VehicleAgent
+from repro.utils.rng import seeded_rng
+
+
+def _agents_for_scenario(name: str) -> AgentSet:
+    """The agent population of each scenario (mirrors the world models)."""
+    if name == "traffic_light_intersection":
+        return AgentSet([
+            TrafficLightAgent(kind="traffic"),
+            VehicleAgent(direction="left", spawn_probability=0.25),
+            VehicleAgent(direction="opposite", spawn_probability=0.2),
+            PedestrianAgent(position="right", spawn_probability=0.18),
+            PedestrianAgent(position="left", spawn_probability=0.12),
+        ])
+    if name == "left_turn_signal_intersection":
+        return AgentSet([
+            TrafficLightAgent(kind="left_turn"),
+            VehicleAgent(direction="opposite", spawn_probability=0.3),
+            VehicleAgent(direction="right", spawn_probability=0.15),
+            VehicleAgent(direction="left", spawn_probability=0.15),
+            PedestrianAgent(position="left", spawn_probability=0.15),
+        ])
+    if name == "two_way_stop_intersection":
+        return AgentSet([
+            StopSignAgent(),
+            VehicleAgent(direction="left", spawn_probability=0.3),
+            VehicleAgent(direction="right", spawn_probability=0.3),
+            VehicleAgent(direction="opposite", spawn_probability=0.15),
+            PedestrianAgent(position="front", spawn_probability=0.12),
+        ])
+    if name == "roundabout":
+        return AgentSet([
+            VehicleAgent(direction="left", spawn_probability=0.35),
+            PedestrianAgent(position="right", spawn_probability=0.15),
+            PedestrianAgent(position="front", spawn_probability=0.1),
+        ])
+    if name == "wide_median_intersection":
+        return AgentSet([
+            VehicleAgent(direction="left", spawn_probability=0.3),
+            VehicleAgent(direction="right", spawn_probability=0.3),
+            PedestrianAgent(position="front", spawn_probability=0.1),
+        ])
+    if name == "pedestrian_crossing":
+        return AgentSet([
+            TrafficLightAgent(kind="traffic", green_duration=(4, 7), red_duration=(2, 4)),
+            PedestrianAgent(position="front", spawn_probability=0.3),
+            PedestrianAgent(position="right", spawn_probability=0.2),
+        ])
+    raise SimulationError(f"unknown scenario {name!r}")
+
+
+@dataclass
+class DrivingWorld:
+    """One episode's worth of environment state for a scenario."""
+
+    scenario: str
+    seed: int | np.random.Generator | None = None
+    max_steps: int = 30
+    agents: AgentSet = field(default=None, repr=False)
+    rng: np.random.Generator = field(default=None, repr=False)
+    tick: int = 0
+    completed: bool = False
+
+    def __post_init__(self) -> None:
+        self.rng = seeded_rng(self.seed)
+        self.agents = _agents_for_scenario(self.scenario)
+        self.reset()
+
+    # ------------------------------------------------------------------ #
+    def reset(self) -> set:
+        """Start a new episode; returns the initial observation."""
+        self.tick = 0
+        self.completed = False
+        self.agents.reset(self.rng)
+        return self.observations()
+
+    def observations(self) -> set:
+        """Propositions the ego vehicle currently observes."""
+        return set(self.agents.propositions())
+
+    def apply_action(self, action: str | None) -> None:
+        """Advance the world one tick after the ego takes ``action``.
+
+        A manoeuvre action (anything other than ``stop``/no-op) completes the
+        episode once the ego has committed to it — the vehicle leaves the
+        scenario, as in a Carla route segment.
+        """
+        if action is not None and action not in DRIVING_ACTIONS:
+            raise SimulationError(f"unknown ego action {action!r}")
+        self.tick += 1
+        if action in {"turn_left", "turn_right", "go_straight"}:
+            self.completed = True
+        self.agents.step(self.rng)
+
+    @property
+    def done(self) -> bool:
+        return self.completed or self.tick >= self.max_steps

@@ -1,0 +1,12 @@
+"""Shared utilities: seeded randomness, validation helpers, serialization."""
+
+from repro.utils.rng import seeded_rng, spawn_rngs
+from repro.utils.validation import check_positive, check_probability, check_in_options
+
+__all__ = [
+    "seeded_rng",
+    "spawn_rngs",
+    "check_positive",
+    "check_probability",
+    "check_in_options",
+]

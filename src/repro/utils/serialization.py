@@ -1,0 +1,42 @@
+"""JSON-friendly serialization helpers for experiment artifacts."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert dataclasses, numpy scalars/arrays, sets to JSON types."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {f.name: to_jsonable(getattr(obj, f.name)) for f in dataclasses.fields(obj)}
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, (set, frozenset)):
+        return sorted(to_jsonable(x) for x in obj)
+    if isinstance(obj, dict):
+        return {str(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [to_jsonable(x) for x in obj]
+    return obj
+
+
+def dump_json(obj: Any, path: str | Path, indent: int = 2) -> Path:
+    """Serialize ``obj`` (via :func:`to_jsonable`) to ``path`` and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_jsonable(obj), indent=indent, sort_keys=True))
+    return path
+
+
+def load_json(path: str | Path) -> Any:
+    """Load JSON content from ``path``."""
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,114 @@
+"""Tests for configuration, prompting, persistence, and pipeline components."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DPOAFPipeline,
+    conservative_driving_model,
+    llama2_chat_prompt,
+    load_model,
+    paper_scale_config,
+    pruned_driving_model,
+    quick_pipeline_config,
+    save_model,
+    steps_prompt,
+    alignment_prompt,
+)
+from repro.core.pipeline import ModelEvaluation, TaskEvaluation
+from repro.driving import core_specifications, task_by_name, training_tasks
+from repro.driving.responses import response_templates
+from repro.errors import TrainingError
+from repro.lm import ModelConfig, Tokenizer, TransformerLM
+
+
+class TestPrompting:
+    def test_steps_prompt_matches_paper_format(self):
+        assert steps_prompt("turn right at traffic light").startswith('Steps for "turn right at traffic light"')
+
+    def test_alignment_prompt_lists_vocabulary(self):
+        prompt = alignment_prompt(["step one"], ["green_traffic_light"], ["stop"])
+        assert "green_traffic_light" in prompt and "stop" in prompt and "1. step one" in prompt
+
+    def test_llama2_wrapper_tokens(self):
+        prompt = llama2_chat_prompt("Steps for \"turn right\":")
+        assert prompt.startswith("<s>[INST]") and "<<SYS>>" in prompt and prompt.endswith("[/INST]")
+
+
+class TestSystemModelHelpers:
+    def test_conservative_model_is_complete(self):
+        model = conservative_driving_model(["green_traffic_light", "car_from_left"])
+        assert model.num_states == 4
+        assert model.num_transitions == 16
+
+    def test_pruned_model_removes_isolated_states(self):
+        model = pruned_driving_model(
+            ["green_traffic_light", "car_from_left"],
+            lambda a, b: a != b and len(a) <= 1 and len(b) <= 1,
+        )
+        # The {green, car} state has no allowed transition, so Algorithm 1 prunes it.
+        assert model.num_states == 3
+
+
+class TestCheckpoints:
+    def test_save_and_load_roundtrip(self, tmp_path):
+        tokenizer = Tokenizer.fit(["turn right at the light"])
+        model = TransformerLM(ModelConfig(vocab_size=tokenizer.vocab_size, max_seq_len=16, dim=8, num_heads=2, num_layers=1, hidden_dim=16), seed=0)
+        save_model(model, tokenizer, tmp_path / "ckpt")
+        loaded_model, loaded_tokenizer = load_model(tmp_path / "ckpt")
+        tokens = np.array([tokenizer.encode("turn right", add_bos=True)])
+        mask = np.ones((1, tokens.shape[1] - 1), dtype=np.float32)
+        assert np.allclose(model.sequence_log_probs(tokens, mask), loaded_model.sequence_log_probs(tokens, mask), atol=1e-5)
+        assert loaded_tokenizer.vocab_size == tokenizer.vocab_size
+
+    def test_missing_checkpoint_raises(self, tmp_path):
+        with pytest.raises(TrainingError):
+            load_model(tmp_path / "nowhere")
+
+
+class TestEvaluationContainers:
+    def test_task_and_model_evaluation_aggregation(self):
+        evaluation = ModelEvaluation(
+            per_task=[
+                TaskEvaluation(task="a", split="train", num_specifications=15, satisfied_counts=[15, 13]),
+                TaskEvaluation(task="b", split="validation", num_specifications=15, satisfied_counts=[9]),
+            ]
+        )
+        assert evaluation.mean_satisfied("train") == pytest.approx(14.0)
+        assert evaluation.mean_satisfied("validation") == pytest.approx(9.0)
+        assert 0.0 < evaluation.satisfaction_ratio() < 1.0
+        assert ModelEvaluation().satisfaction_ratio() == 0.0
+
+
+class TestPipelinePieces:
+    @pytest.fixture(scope="class")
+    def pipeline(self):
+        return DPOAFPipeline(quick_pipeline_config(seed=0), specifications=core_specifications())
+
+    def test_configs_scale(self):
+        quick = quick_pipeline_config()
+        paper = paper_scale_config()
+        assert quick.pretrain.num_steps < paper.pretrain.num_steps
+        assert quick.dpo.num_epochs < paper.dpo.num_epochs
+
+    def test_score_response_orders_categories(self, pipeline):
+        task = task_by_name("turn_right_traffic_light")
+        good = pipeline.score_response(task, response_templates(task.name, "compliant")[0])
+        bad = pipeline.score_response(task, response_templates(task.name, "flawed")[0])
+        vague = pipeline.score_response(task, "1. Just drive nicely.")
+        assert good > bad >= vague
+
+    def test_task_model_is_cached(self, pipeline):
+        task = task_by_name("turn_right_traffic_light")
+        assert pipeline.task_model(task) is pipeline.task_model(task)
+
+    def test_augment_with_templates_adds_pairs(self, pipeline):
+        pairs = pipeline.augment_with_templates([], per_task=2)
+        assert len(pairs) >= 2 * len(training_tasks())
+        assert all(pair.chosen_score >= pair.rejected_score for pair in pairs)
+
+    def test_finetune_requires_pairs(self, pipeline):
+        tokenizer = Tokenizer.fit(["x"])
+        model = TransformerLM(ModelConfig(vocab_size=tokenizer.vocab_size, max_seq_len=8, dim=8, num_heads=2, num_layers=1, hidden_dim=16))
+        with pytest.raises(TrainingError):
+            pipeline.finetune(model, tokenizer, [])

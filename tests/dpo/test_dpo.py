@@ -1,0 +1,156 @@
+"""Tests for the DPO dataset, loss, metrics, and trainer."""
+
+import numpy as np
+import pytest
+
+from repro.dpo import DPOConfig, DPODataset, DPOTrainer, MultiSeedCurves, TrainingHistory, dpo_step, run_dpo, sigmoid
+from repro.errors import TrainingError
+from repro.feedback import PreferencePair
+from repro.lm import ModelConfig, Tokenizer, TransformerLM
+
+
+@pytest.fixture(scope="module")
+def toy_tokenizer() -> Tokenizer:
+    texts = [
+        'Steps for "turn right" :',
+        "1. observe the light.\n2. if green, turn right.",
+        "1. turn right.",
+        "1. drive carefully.",
+    ]
+    return Tokenizer.fit(texts)
+
+
+@pytest.fixture(scope="module")
+def toy_pairs() -> list:
+    prompt = 'Steps for "turn right" :'
+    good = "1. observe the light.\n2. if green, turn right."
+    bad = "1. turn right."
+    vague = "1. drive carefully."
+    return [
+        PreferencePair(prompt=prompt, chosen=good, rejected=bad, chosen_score=14, rejected_score=10, task="t"),
+        PreferencePair(prompt=prompt, chosen=good, rejected=vague, chosen_score=14, rejected_score=0, task="t"),
+        PreferencePair(prompt=prompt, chosen=bad, rejected=vague, chosen_score=10, rejected_score=0, task="t"),
+    ]
+
+
+@pytest.fixture()
+def toy_model(toy_tokenizer) -> TransformerLM:
+    config = ModelConfig(vocab_size=toy_tokenizer.vocab_size, max_seq_len=48, dim=16, num_heads=2, num_layers=1, hidden_dim=32)
+    return TransformerLM(config, seed=0)
+
+
+class TestSigmoid:
+    def test_symmetry(self):
+        assert sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+        assert sigmoid(np.array([5.0]))[0] + sigmoid(np.array([-5.0]))[0] == pytest.approx(1.0)
+
+    def test_extremes_are_stable(self):
+        assert np.isfinite(sigmoid(np.array([1000.0, -1000.0]))).all()
+
+
+class TestDataset:
+    def test_encoding_masks_only_response(self, toy_pairs, toy_tokenizer):
+        dataset = DPODataset.from_preference_pairs(toy_pairs, toy_tokenizer, max_seq_len=48)
+        batch = next(dataset.batches(3, shuffle=False))
+        prompt_len = len(toy_tokenizer.encode(toy_pairs[0].prompt, add_bos=True))
+        assert batch["chosen_mask"][:, : prompt_len - 1].sum() == 0
+        assert batch["chosen_mask"].sum() > 0
+
+    def test_rejects_non_pairs(self, toy_tokenizer):
+        with pytest.raises(TrainingError):
+            DPODataset.from_preference_pairs(["not a pair"], toy_tokenizer)
+
+    def test_empty_dataset_raises_on_batching(self, toy_tokenizer):
+        dataset = DPODataset(pairs=[], tokenizer=toy_tokenizer)
+        with pytest.raises(TrainingError):
+            next(dataset.batches(2, shuffle=False))
+
+    def test_num_batches(self, toy_pairs, toy_tokenizer):
+        dataset = DPODataset.from_preference_pairs(toy_pairs, toy_tokenizer)
+        assert dataset.num_batches(2) == 2
+
+
+class TestDPOStep:
+    def test_initial_loss_is_log_two(self, toy_model, toy_pairs, toy_tokenizer):
+        """Before any update the policy equals the reference, so L = -log σ(0) = log 2."""
+        dataset = DPODataset.from_preference_pairs(toy_pairs, toy_tokenizer, max_seq_len=48)
+        batch = next(dataset.batches(3, shuffle=False))
+        metrics = dpo_step(toy_model, toy_model.clone(), batch, beta=0.5, backward=False)
+        assert metrics.loss == pytest.approx(np.log(2.0), rel=1e-3)
+        assert metrics.marginal_preference == pytest.approx(0.0, abs=1e-4)
+
+    def test_gradients_reduce_loss(self, toy_model, toy_pairs, toy_tokenizer):
+        from repro.lm import Adam
+
+        reference = toy_model.clone()
+        dataset = DPODataset.from_preference_pairs(toy_pairs, toy_tokenizer, max_seq_len=48)
+        optimizer = Adam(toy_model.parameters(), learning_rate=5e-3)
+        batch = next(dataset.batches(3, shuffle=False))
+        first = dpo_step(toy_model, reference, batch, beta=0.5, backward=False).loss
+        for _ in range(15):
+            optimizer.zero_grad()
+            dpo_step(toy_model, reference, batch, beta=0.5)
+            optimizer.step()
+        last = dpo_step(toy_model, reference, batch, beta=0.5, backward=False).loss
+        assert last < first
+        final = dpo_step(toy_model, reference, batch, beta=0.5, backward=False)
+        assert final.marginal_preference > 0
+
+
+class TestTrainer:
+    def test_training_improves_metrics_and_checkpoints(self, toy_model, toy_pairs, toy_tokenizer):
+        config = DPOConfig(num_epochs=6, batch_size=3, learning_rate=5e-3, checkpoint_every=2, lora_rank=2, seed=0)
+        result = run_dpo(toy_model, toy_tokenizer, toy_pairs, config, max_seq_len=48)
+        history = result.history
+        assert history.num_steps == 6  # one batch per epoch
+        assert history.losses[-1] < history.losses[0]
+        assert history.marginal_preferences[-1] > 0
+        assert set(result.checkpoint_epochs()) == {0, 2, 4, 6}
+        assert result.lora_summary["trainable_parameters"] < result.lora_summary["total_parameters"]
+
+    def test_model_at_epoch_restores_weights(self, toy_model, toy_pairs, toy_tokenizer):
+        config = DPOConfig(num_epochs=2, batch_size=3, checkpoint_every=1, lora_rank=2, seed=0)
+        result = run_dpo(toy_model, toy_tokenizer, toy_pairs, config, max_seq_len=48)
+        restored = result.model_at_epoch(0)
+        reference_state = result.checkpoints[0]
+        assert np.allclose(restored.state_dict()["head.lora_b"], reference_state["head.lora_b"])
+        with pytest.raises(TrainingError):
+            result.model_at_epoch(999)
+
+    def test_empty_pairs_raise(self, toy_model, toy_tokenizer):
+        trainer = DPOTrainer(toy_model, toy_tokenizer, DPOConfig(num_epochs=1))
+        with pytest.raises(TrainingError):
+            trainer.train(DPODataset(pairs=[], tokenizer=toy_tokenizer))
+
+    def test_max_steps_caps_training(self, toy_model, toy_pairs, toy_tokenizer):
+        config = DPOConfig(num_epochs=50, batch_size=1, max_steps=4, checkpoint_every=100, lora_rank=2, seed=0)
+        result = run_dpo(toy_model, toy_tokenizer, toy_pairs, config, max_seq_len=48)
+        assert result.history.num_steps == 4
+
+
+class TestMetricsContainers:
+    def test_training_history_records(self):
+        history = TrainingHistory()
+
+        class _M:
+            loss, accuracy, marginal_preference = 0.5, 0.75, 1.2
+
+        history.record(_M(), grad_norm=0.3)
+        history.mark_epoch()
+        assert history.num_steps == 1 and history.num_epochs == 1
+        assert history.final()["accuracy"] == 0.75
+
+    def test_multi_seed_aggregation(self):
+        curves = MultiSeedCurves()
+        for offset in (0.0, 1.0):
+            history = TrainingHistory()
+            history.losses = [1.0 + offset, 0.5 + offset]
+            history.accuracies = [0.5, 0.9]
+            history.marginal_preferences = [0.0, 1.0]
+            curves.add(history)
+        assert curves.num_seeds == 2
+        assert curves.mean("losses")[0] == pytest.approx(1.5)
+        assert curves.minimum("losses")[1] == pytest.approx(0.5)
+        assert curves.maximum("losses")[1] == pytest.approx(1.5)
+        rows = curves.summary_table("losses", every=1)
+        assert rows[0][0] == 0 and len(rows) == 2

@@ -1,0 +1,108 @@
+"""Tests for formal/empirical feedback and preference-pair construction."""
+
+import pytest
+
+from repro.driving import all_specifications, core_specifications, response_templates
+from repro.feedback import (
+    EmpiricalEvaluator,
+    FeedbackRanker,
+    FormalVerifier,
+    PreferencePair,
+    max_pairs,
+    rank_to_pairs,
+    trace_satisfaction,
+)
+from repro.logic import parse_ltl
+
+
+class TestFormalVerifier:
+    @pytest.fixture(scope="class")
+    def verifier(self):
+        return FormalVerifier(all_specifications())
+
+    def test_compliant_beats_flawed(self, verifier, right_turn_task):
+        model = right_turn_task.model()
+        good = verifier.verify_response(model, response_templates(right_turn_task.name, "compliant")[0], task="good")
+        bad = verifier.verify_response(model, response_templates(right_turn_task.name, "flawed")[0], task="bad")
+        assert good.num_satisfied > bad.num_satisfied
+        assert good.satisfaction_ratio > 0.85
+        assert "phi_5" in bad.violated
+
+    def test_unparseable_response_scores_zero(self, verifier, right_turn_task):
+        feedback = verifier.verify_response(right_turn_task.model(), "1. Just be careful.", task="vague")
+        assert feedback.parse_failed
+        assert feedback.num_satisfied == 0
+        assert feedback.num_specifications == 15
+
+    def test_rank_responses_orders_by_score(self, verifier, right_turn_task):
+        responses = [
+            response_templates(right_turn_task.name, "flawed")[0],
+            response_templates(right_turn_task.name, "compliant")[0],
+        ]
+        ranked = verifier.rank_responses(right_turn_task.model(), responses, task=right_turn_task.name)
+        assert ranked[0][0] == 1  # the compliant response comes first
+
+    def test_verify_controller_reports_names(self, verifier, right_turn_task, right_turn_good_controller):
+        feedback = verifier.verify_controller(right_turn_task.model(), right_turn_good_controller, task="good")
+        assert set(feedback.satisfied) | set(feedback.violated) == set(all_specifications())
+        assert "specifications satisfied" in feedback.describe()
+
+
+class TestEmpiricalFeedback:
+    def test_trace_satisfaction_counts(self):
+        specs = {"resp": parse_ltl("G(ped -> F stop)"), "live": parse_ltl("F go")}
+        traces = [[{"ped"}, {"stop"}], [{"ped"}, {"go"}]]
+        values = trace_satisfaction(specs, traces)
+        assert values["resp"] == pytest.approx(0.5)
+        assert values["live"] == pytest.approx(0.5)
+
+    def test_requires_traces(self):
+        with pytest.raises(ValueError):
+            trace_satisfaction({"a": parse_ltl("a")}, [])
+
+    def test_evaluator_with_stub_grounding(self):
+        def grounding(controller, num_traces, seed):  # noqa: ARG001 - fixed traces
+            return [[{"ped", "stop"}], [{"ped"}]] * (num_traces // 2 or 1)
+
+        evaluator = EmpiricalEvaluator({"phi": parse_ltl("G(ped -> F stop)")}, grounding, threshold=0.9)
+        feedback = evaluator.evaluate_controller(object(), num_traces=4, task="stub")
+        assert feedback.num_traces == 4
+        assert feedback.num_satisfied == 0          # only half the traces satisfy the spec
+        assert feedback.mean_satisfaction == pytest.approx(0.5)
+
+    def test_simulation_grounding_integration(self, right_turn_task, right_turn_good_controller, core_specs):
+        from repro.sim import SimulationGrounding
+
+        evaluator = EmpiricalEvaluator(core_specs, SimulationGrounding(right_turn_task.scenario), threshold=0.9)
+        feedback = evaluator.evaluate_controller(right_turn_good_controller, num_traces=8, seed=0)
+        assert feedback.num_specifications == 5
+        assert 0.0 <= feedback.mean_satisfaction <= 1.0
+        assert feedback.satisfaction["phi_5"] >= 0.9   # compliant controller respects Φ5 in simulation
+
+
+class TestRanker:
+    def test_rank_to_pairs_orientation(self):
+        pairs = rank_to_pairs("prompt", ["worse", "better"], [3, 10], task="t")
+        assert len(pairs) == 1
+        assert pairs[0].chosen == "better"
+        assert pairs[0].rejected == "worse"
+        assert pairs[0].margin == 7
+
+    def test_ties_are_dropped(self):
+        assert rank_to_pairs("p", ["a", "b"], [5, 5]) == []
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            rank_to_pairs("p", ["a"], [1, 2])
+
+    def test_max_pairs_formula(self):
+        assert max_pairs(num_tasks=10, responses_per_task=3) == 30
+        assert max_pairs(num_tasks=1, responses_per_task=2) == 1
+
+    def test_feedback_ranker_over_dataset(self):
+        ranker = FeedbackRanker(lambda task, response: len(response))
+        items = [("task", "prompt", ["aa", "aaaa", "a"])]
+        pairs = ranker.pairs_for_dataset(items)
+        assert len(pairs) == 3
+        assert all(isinstance(p, PreferencePair) for p in pairs)
+        assert all(len(p.chosen) > len(p.rejected) for p in pairs)

@@ -1,0 +1,89 @@
+"""Tests for phrase alignment (the paper's second prompting stage)."""
+
+import pytest
+
+from repro.errors import AlignmentError
+from repro.glm2fsa import align_response, align_step, find_action, find_propositions
+
+
+class TestFindPropositions:
+    def test_simple_phrase(self):
+        matches = find_propositions("watch for the green traffic light")
+        assert [m[1] for m in matches] == ["green_traffic_light"]
+
+    def test_longest_match_wins(self):
+        matches = find_propositions("the green left turn light is on")
+        assert matches[0][1] == "green_left_turn_light"
+
+    def test_negation_before_phrase(self):
+        matches = find_propositions("there is no car from the left")
+        assert matches[0][1:] == ("car_from_left", True)
+
+    def test_negation_after_phrase(self):
+        matches = find_propositions("the traffic light is not green")
+        assert matches[0][1:] == ("green_traffic_light", True)
+
+    def test_multiple_literals_with_mixed_polarity(self):
+        matches = find_propositions("no car from the left and a pedestrian on the right")
+        table = {proposition: negated for _, proposition, negated in matches}
+        assert table == {"car_from_left": True, "pedestrian_at_right": False}
+
+    def test_hyphenated_phrases(self):
+        matches = find_propositions("wait for the left-turn light")
+        assert matches[0][1] == "green_left_turn_light"
+
+
+class TestFindAction:
+    @pytest.mark.parametrize(
+        "text, action",
+        [
+            ("turn your vehicle right", "turn_right"),
+            ("proceed to turn right", "turn_right"),
+            ("come to a complete stop", "stop"),
+            ("start moving forward", "go_straight"),
+            ("make the left turn", "turn_left"),
+            ("wait for the light", "stop"),
+        ],
+    )
+    def test_action_lexicon(self, text, action):
+        assert find_action(text) == action
+
+    def test_earliest_action_wins(self):
+        assert find_action("turn left and proceed through the intersection") == "turn_left"
+
+    def test_no_action(self):
+        assert find_action("observe the surroundings") is None
+
+
+class TestAlignStep:
+    def test_observation(self):
+        assert align_step("Observe the traffic light.") == "observe green_traffic_light"
+
+    def test_conditional_with_action(self):
+        aligned = align_step("If there is no car from the left, turn right.")
+        assert aligned == "if no car_from_left , turn_right"
+
+    def test_conditional_with_observation_consequence(self):
+        aligned = align_step("If there is no car from the left, check pedestrians on your right.")
+        assert aligned == "if no car_from_left , observe pedestrian_at_right"
+
+    def test_conditional_with_empty_condition(self):
+        aligned = align_step("If it is safe, turn your vehicle right.")
+        assert aligned == "if true , turn_right"
+
+    def test_when_is_treated_as_conditional(self):
+        aligned = align_step("When the traffic light turns green, start moving forward.")
+        assert aligned.startswith("if green_traffic_light")
+        assert aligned.endswith("go_straight")
+
+    def test_unconditional_action(self):
+        assert align_step("Turn right.") == "turn_right"
+
+    def test_unalignable_raises(self):
+        with pytest.raises(AlignmentError):
+            align_step("Be courteous to everyone around you at all times.")
+
+    def test_align_response_numbers_lines(self):
+        response = "1. Observe the traffic light.\n2. Turn right."
+        aligned = align_response(response)
+        assert aligned.splitlines() == ["1. observe green_traffic_light", "2. turn_right"]

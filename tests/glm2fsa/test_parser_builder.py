@@ -1,0 +1,125 @@
+"""Tests for semantic parsing and GLM2FSA controller construction."""
+
+import pytest
+
+from repro.automata import build_product
+from repro.driving import task_by_name
+from repro.errors import AlignmentError
+from repro.glm2fsa import (
+    ActionStep,
+    ConditionalStep,
+    ObserveStep,
+    build_controller,
+    build_controller_from_text,
+    parse_response,
+    parse_step,
+    strip_numbering,
+)
+from repro.modelcheck import ModelChecker
+
+RIGHT_TURN_BEFORE = (
+    "1. Look straight ahead and watch for the traffic light.\n"
+    "2. If the traffic light turns green, start moving forward.\n"
+    "3. As you approach the intersection, look to your left for oncoming traffic.\n"
+    "4. If there is no traffic from your left, check pedestrians on your right.\n"
+    "5. If it is safe, turn your vehicle right."
+)
+
+
+class TestSemanticParser:
+    def test_strip_numbering(self):
+        assert strip_numbering("3. Turn right.") == "Turn right."
+        assert strip_numbering("12) stop") == "stop"
+
+    def test_observe_step(self):
+        step = parse_step("Observe the traffic light.")
+        assert isinstance(step, ObserveStep)
+        assert step.propositions == ("green_traffic_light",)
+
+    def test_action_step(self):
+        step = parse_step("Turn right.")
+        assert isinstance(step, ActionStep)
+        assert step.action == "turn_right"
+
+    def test_conditional_step_guard(self):
+        step = parse_step("If there is no car from the left and no pedestrian at right, turn right.")
+        assert isinstance(step, ConditionalStep)
+        guard = step.condition.to_guard()
+        assert guard.evaluate(frozenset())
+        assert not guard.evaluate(frozenset({"car_from_left"}))
+        assert step.action == "turn_right"
+
+    def test_conditional_observation(self):
+        step = parse_step("If there is no car from the left, check the pedestrian at right.")
+        assert isinstance(step, ConditionalStep)
+        assert step.action is None
+        assert step.observed == ("pedestrian_at_right",)
+
+    def test_parse_response_counts_steps(self):
+        parsed = parse_response(RIGHT_TURN_BEFORE, task="turn right")
+        assert len(parsed) == 5
+
+    def test_parse_response_skips_unalignable_lines(self):
+        text = "1. Be careful out there.\n2. Turn right."
+        parsed = parse_response(text)
+        assert len(parsed) == 1
+
+    def test_aligned_input_mode(self):
+        parsed = parse_response("1. observe green_traffic_light\n2. turn_right", aligned=True)
+        assert len(parsed) == 2
+
+    def test_describe(self):
+        parsed = parse_response(RIGHT_TURN_BEFORE, task="right turn")
+        assert "right turn" in parsed.describe()
+
+
+class TestControllerConstruction:
+    def test_one_state_per_step_plus_final(self):
+        controller = build_controller_from_text(RIGHT_TURN_BEFORE, name="before")
+        assert controller.num_states == 6
+        assert controller.initial_state == "q0"
+
+    def test_unparseable_response_raises(self):
+        with pytest.raises(AlignmentError):
+            build_controller_from_text("1. Stay calm.\n2. Breathe.")
+
+    def test_wait_action_epsilon(self):
+        controller = build_controller_from_text("1. Observe the traffic light.\n2. Turn right.", wait_action=None)
+        assert controller.transitions[0].action == frozenset()
+
+    def test_guarding_stop_step_self_loops_on_condition(self):
+        controller = build_controller_from_text(
+            "1. If the traffic light is not green, stop.\n2. Turn right.", name="guarding"
+        )
+        loops = [t for t in controller.transitions if t.source == t.target == "q0"]
+        assert loops and loops[0].action == frozenset({"stop"})
+        assert loops[0].guard.evaluate(frozenset())              # ¬green → keep stopping
+        assert not loops[0].guard.evaluate(frozenset({"green_traffic_light"}))
+
+    def test_conditional_action_waits_otherwise(self):
+        controller = build_controller_from_text("1. If there is no car from the left, turn right.")
+        waits = [t for t in controller.transitions if t.source == t.target == "q0"]
+        assert waits and waits[0].action == frozenset({"stop"})
+
+    def test_build_controller_requires_steps(self):
+        with pytest.raises(AlignmentError):
+            build_controller([], name="empty")
+
+
+class TestPaperExamples:
+    def test_fig7_before_controller_fails_phi5(self, right_turn_task, driving_specs):
+        """The pre-fine-tuning right-turn controller violates Φ5 (Section 5.1)."""
+        controller = build_controller_from_text(RIGHT_TURN_BEFORE, task=right_turn_task.name)
+        model = right_turn_task.model()
+        checker = ModelChecker()
+        result = checker.check(build_product(model, controller, restart_on_termination=True), driving_specs["phi_5"])
+        assert not result.holds
+        assert result.counterexample is not None
+
+    def test_fig7_after_controller_satisfies_phi5(self, right_turn_task, right_turn_good_controller, driving_specs):
+        model = right_turn_task.model()
+        checker = ModelChecker()
+        product = build_product(model, right_turn_good_controller, restart_on_termination=True)
+        assert checker.check(product, driving_specs["phi_5"]).holds
+        assert checker.check(product, driving_specs["phi_9"]).holds
+        assert checker.check(product, driving_specs["phi_11"]).holds

@@ -1,0 +1,79 @@
+"""Tests for LTLf (finite-trace) evaluation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.logic import evaluate_trace, normalize_trace, parse_ltl, satisfaction_fraction
+
+
+class TestFiniteTraceSemantics:
+    def test_atom(self):
+        assert evaluate_trace(parse_ltl("a"), [{"a"}])
+        assert not evaluate_trace(parse_ltl("a"), [{"b"}])
+
+    def test_always(self):
+        assert evaluate_trace(parse_ltl("G a"), [{"a"}, {"a", "b"}])
+        assert not evaluate_trace(parse_ltl("G a"), [{"a"}, {"b"}])
+
+    def test_eventually(self):
+        assert evaluate_trace(parse_ltl("F b"), [{"a"}, {"b"}])
+        assert not evaluate_trace(parse_ltl("F b"), [{"a"}, {"a"}])
+
+    def test_next_is_strong(self):
+        assert not evaluate_trace(parse_ltl("X a"), [{"a"}])           # no next position
+        assert evaluate_trace(parse_ltl("X a"), [{"b"}, {"a"}])
+
+    def test_until(self):
+        assert evaluate_trace(parse_ltl("a U b"), [{"a"}, {"a"}, {"b"}])
+        assert not evaluate_trace(parse_ltl("a U b"), [{"a"}, {}, {"b"}])
+        assert not evaluate_trace(parse_ltl("a U b"), [{"a"}, {"a"}])
+
+    def test_release(self):
+        assert evaluate_trace(parse_ltl("a R b"), [{"b"}, {"b"}])
+        assert evaluate_trace(parse_ltl("a R b"), [{"b"}, {"a", "b"}, {}])
+        assert not evaluate_trace(parse_ltl("a R b"), [{"b"}, {}, {}])
+
+    def test_response_pattern(self):
+        spec = parse_ltl("G(ped -> F stop)")
+        assert evaluate_trace(spec, [{"ped"}, {}, {"stop"}])
+        assert not evaluate_trace(spec, [{"ped"}, {}, {"go"}])
+
+    def test_empty_trace_vacuous_cases(self):
+        assert evaluate_trace(parse_ltl("G a"), [])
+        assert evaluate_trace(parse_ltl("true"), [])
+        assert not evaluate_trace(parse_ltl("F a"), [])
+        assert not evaluate_trace(parse_ltl("a"), [])
+
+    def test_normalize_trace_canonicalises(self):
+        trace = normalize_trace([["Green Light"], {"stop"}])
+        assert trace[0] == frozenset({"green_light"})
+
+    def test_implication_and_negation(self):
+        spec = parse_ltl("G(!green -> !go)")
+        assert evaluate_trace(spec, [{"green", "go"}, {"stop"}])
+        assert not evaluate_trace(spec, [{"go"}])
+
+    @given(st.lists(st.sets(st.sampled_from(["a", "b"]), max_size=2), min_size=1, max_size=6))
+    def test_duality_g_and_f(self, trace):
+        """G a  ≡  ¬ F ¬a on every finite trace (property-based)."""
+        left = evaluate_trace(parse_ltl("G a"), trace)
+        right = not evaluate_trace(parse_ltl("F !a"), trace)
+        assert left == right
+
+    @given(st.lists(st.sets(st.sampled_from(["a", "b"]), max_size=2), min_size=1, max_size=6))
+    def test_until_release_duality(self, trace):
+        """¬(a U b) ≡ ¬a R ¬b on every finite trace (property-based)."""
+        left = not evaluate_trace(parse_ltl("a U b"), trace)
+        right = evaluate_trace(parse_ltl("!a R !b"), trace)
+        assert left == right
+
+
+class TestSatisfactionFraction:
+    def test_fraction(self):
+        spec = parse_ltl("F stop")
+        traces = [[{"stop"}], [{"go"}], [{"go"}, {"stop"}], [{"go"}]]
+        assert satisfaction_fraction(spec, traces) == pytest.approx(0.5)
+
+    def test_requires_traces(self):
+        with pytest.raises(ValueError):
+            satisfaction_fraction(parse_ltl("a"), [])

@@ -1,0 +1,119 @@
+"""Tests for the SMV-like module language (parser, compiler, emitter)."""
+
+import pytest
+
+from repro.errors import SMVSyntaxError
+from repro.modelcheck import ModelChecker
+from repro.modelcheck.smv import compile_module, controller_to_smv, parse_smv, specifications_to_smv, verification_script
+from repro.logic import parse_ltl
+
+SAMPLE_MODULE = """
+MODULE turn_left_after_finetune
+
+VAR
+    green_left_turn_light : boolean;
+    opposite_car : boolean;
+    action : {stop, turn_left, go_straight};
+
+ASSIGN
+    init(action) := stop;
+
+TRANS
+    case
+        !green_left_turn_light : next(action) = stop;
+        green_left_turn_light : next(action) = turn_left;
+    esac;
+
+LTLSPEC NAME phi_safety :=
+    G( !green_left_turn_light -> X !turn_left );
+"""
+
+
+class TestParser:
+    def test_module_name_and_variables(self):
+        program = parse_smv(SAMPLE_MODULE)
+        module = program.module("turn_left_after_finetune")
+        assert module is not None
+        assert {v.name for v in module.boolean_variables()} == {"green_left_turn_light", "opposite_car"}
+        assert module.variable("action").domain == ("stop", "turn_left", "go_straight")
+
+    def test_init_assignment(self):
+        module = parse_smv(SAMPLE_MODULE).modules[0]
+        assert module.init_assigns[0].variable == "action"
+        assert module.init_assigns[0].value == "stop"
+
+    def test_trans_branches(self):
+        module = parse_smv(SAMPLE_MODULE).modules[0]
+        assert len(module.trans_branches) == 2
+        assert module.trans_branches[0].value == "stop"
+
+    def test_ltlspec_collected(self):
+        program = parse_smv(SAMPLE_MODULE)
+        assert program.specs[0].name == "phi_safety"
+        assert "turn_left" in program.specs[0].formula
+
+    def test_comments_are_ignored(self):
+        program = parse_smv("MODULE m\nVAR\n  x : boolean; -- a comment\n")
+        assert program.modules[0].variables[0].name == "x"
+
+    def test_unknown_statement_raises(self):
+        with pytest.raises(SMVSyntaxError):
+            parse_smv("MODULE m\nVAR\n  ???\n")
+
+    def test_statement_outside_module_raises(self):
+        with pytest.raises(SMVSyntaxError):
+            parse_smv("VAR\n x : boolean;\n")
+
+
+class TestCompiler:
+    def test_state_space_size(self):
+        module = parse_smv(SAMPLE_MODULE).modules[0]
+        kripke = compile_module(module)
+        # 2 booleans x 3 actions = 12 states.
+        assert kripke.num_states == 12
+
+    def test_initial_states_respect_init(self):
+        module = parse_smv(SAMPLE_MODULE).modules[0]
+        kripke = compile_module(module)
+        assert all("stop" in kripke.label(s) for s in kripke.initial_states)
+
+    def test_compiled_module_satisfies_safety_spec(self):
+        program = parse_smv(SAMPLE_MODULE)
+        kripke = compile_module(program.modules[0])
+        spec = parse_ltl(program.specs[0].formula)
+        assert ModelChecker().check(kripke, spec).holds
+
+    def test_violating_module_detected(self):
+        violating = SAMPLE_MODULE.replace(
+            "!green_left_turn_light : next(action) = stop;",
+            "!green_left_turn_light : next(action) = turn_left;",
+        )
+        program = parse_smv(violating)
+        kripke = compile_module(program.modules[0])
+        spec = parse_ltl(program.specs[0].formula)
+        assert not ModelChecker().check(kripke, spec).holds
+
+    def test_state_space_limit(self):
+        text = "MODULE big\nVAR\n" + "\n".join(f"  v{i} : boolean;" for i in range(20))
+        module = parse_smv(text).modules[0]
+        with pytest.raises(SMVSyntaxError):
+            compile_module(module, max_states=100)
+
+
+class TestEmitter:
+    def test_controller_roundtrip(self, right_turn_good_controller):
+        text = controller_to_smv(right_turn_good_controller)
+        program = parse_smv(text)
+        module = program.modules[0]
+        assert module.variable("action") is not None
+        kripke = compile_module(module)
+        assert kripke.num_states > 0
+
+    def test_specifications_rendering(self, driving_specs):
+        text = specifications_to_smv(list(driving_specs.values())[:3], names=["phi_1", "phi_2", "phi_3"])
+        assert text.count("LTLSPEC") == 3
+
+    def test_verification_script(self):
+        script = verification_script("right_turn.smv", ["phi_1", "phi_2"])
+        assert "read_model -i right_turn.smv" in script
+        assert script.count("check_ltlspec") == 2

@@ -1,0 +1,140 @@
+"""Tests for the driving simulator (agents, world, executor, traces)."""
+
+import numpy as np
+import pytest
+
+from repro.driving import SCENARIO_BUILDERS
+from repro.errors import SimulationError
+from repro.sim import ControllerExecutor, DrivingWorld, SimulationGrounding, Trace
+from repro.sim.agents import PedestrianAgent, StopSignAgent, TrafficLightAgent, VehicleAgent
+
+
+class TestAgents:
+    def test_traffic_light_cycles(self, rng):
+        light = TrafficLightAgent(green_duration=(1, 1), red_duration=(1, 1))
+        light.reset(rng)
+        states = set()
+        for _ in range(6):
+            states.add(light.is_green)
+            light.step(rng)
+        assert states == {True, False}
+
+    def test_left_turn_light_proposition(self, rng):
+        light = TrafficLightAgent(kind="left_turn")
+        light.is_green = True
+        assert light.propositions() == {"green_left_turn_light"}
+
+    def test_vehicle_approaches_and_passes(self, rng):
+        vehicle = VehicleAgent(direction="left", spawn_probability=1.0, speed_range=(2.0, 2.0))
+        vehicle.reset(rng)
+        assert vehicle.visible
+        for _ in range(10):
+            vehicle.spawn_probability = 0.0
+            vehicle.step(rng)
+        assert not vehicle.visible
+
+    def test_pedestrian_propositions_include_derived(self, rng):
+        pedestrian = PedestrianAgent(position="right", spawn_probability=1.0)
+        pedestrian.reset(rng)
+        assert {"pedestrian_at_right", "pedestrian"} <= pedestrian.propositions()
+
+    def test_front_pedestrian(self, rng):
+        pedestrian = PedestrianAgent(position="front", spawn_probability=1.0)
+        pedestrian.reset(rng)
+        assert "pedestrian_in_front" in pedestrian.propositions()
+
+    def test_stop_sign_is_static(self, rng):
+        sign = StopSignAgent()
+        sign.reset(rng)
+        sign.step(rng)
+        assert sign.propositions() == {"stop_sign"}
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            VehicleAgent(spawn_probability=1.5)
+
+
+class TestWorld:
+    @pytest.mark.parametrize("scenario", sorted(SCENARIO_BUILDERS))
+    def test_every_scenario_has_a_world(self, scenario):
+        world = DrivingWorld(scenario, seed=0, max_steps=5)
+        observed = world.observations()
+        assert isinstance(observed, set)
+        world.apply_action("stop")
+        assert world.tick == 1
+
+    def test_maneuver_completes_episode(self):
+        world = DrivingWorld("traffic_light_intersection", seed=0, max_steps=10)
+        world.apply_action("go_straight")
+        assert world.done and world.completed
+
+    def test_step_budget_ends_episode(self):
+        world = DrivingWorld("roundabout", seed=0, max_steps=3)
+        for _ in range(3):
+            world.apply_action("stop")
+        assert world.done and not world.completed
+
+    def test_unknown_scenario_and_action(self):
+        with pytest.raises(SimulationError):
+            DrivingWorld("mars_rover", seed=0)
+        world = DrivingWorld("roundabout", seed=0)
+        with pytest.raises(SimulationError):
+            world.apply_action("teleport")
+
+    def test_stop_sign_scenario_always_observes_sign(self):
+        world = DrivingWorld("two_way_stop_intersection", seed=1, max_steps=5)
+        for _ in range(5):
+            assert "stop_sign" in world.observations()
+            world.apply_action("stop")
+
+
+class TestExecutorAndTraces:
+    def test_trace_structure(self, right_turn_good_controller):
+        executor = ControllerExecutor("traffic_light_intersection", max_steps=15)
+        trace = executor.run_episode(right_turn_good_controller, seed=0)
+        assert isinstance(trace, Trace)
+        assert 1 <= len(trace) <= 15
+        assert all(isinstance(symbol, frozenset) for symbol in trace.symbols())
+
+    def test_reproducible_with_seed(self, right_turn_good_controller):
+        executor = ControllerExecutor("traffic_light_intersection", max_steps=15)
+        a = executor.run_episode(right_turn_good_controller, seed=7).symbols()
+        b = executor.run_episode(right_turn_good_controller, seed=7).symbols()
+        assert a == b
+
+    def test_collect_traces_count_and_validation(self, right_turn_good_controller):
+        executor = ControllerExecutor("traffic_light_intersection", max_steps=10)
+        traces = executor.collect_traces(right_turn_good_controller, 5, seed=0)
+        assert len(traces) == 5
+        with pytest.raises(SimulationError):
+            executor.collect_traces(right_turn_good_controller, 0)
+
+    def test_good_controller_eventually_turns(self, right_turn_good_controller):
+        grounding = SimulationGrounding("traffic_light_intersection", max_steps=25)
+        traces = grounding.raw_traces(right_turn_good_controller, 10, seed=0)
+        assert any(trace.count_action("turn_right") > 0 for trace in traces)
+
+    def test_compliant_respects_phi5_in_simulation(self, right_turn_good_controller, core_specs):
+        from repro.logic import satisfaction_fraction
+
+        grounding = SimulationGrounding("traffic_light_intersection", max_steps=25)
+        traces = grounding(right_turn_good_controller, 15, seed=1)
+        assert satisfaction_fraction(core_specs["phi_5"], traces) >= 0.95
+
+    def test_observation_filter_is_applied(self, right_turn_good_controller):
+        def blind(observations, rng):  # noqa: ARG001 - the controller sees nothing
+            return frozenset()
+
+        executor = ControllerExecutor("traffic_light_intersection", max_steps=5, observation_filter=blind)
+        trace = executor.run_episode(right_turn_good_controller, seed=0)
+        # The controller never sees a green light, so it never progresses past waiting.
+        assert trace.count_action("turn_right") == 0
+
+    def test_trace_helpers(self):
+        trace = Trace(scenario="s", controller="c")
+        trace.append({"green_traffic_light"}, {"go_straight"})
+        trace.append({"pedestrian"}, set())
+        assert trace.count_action("go_straight") == 1
+        assert "pedestrian" in trace.propositions_seen()
+        assert trace.symbols()[0] == frozenset({"green_traffic_light", "go_straight"})
+        assert "Trace" in trace.describe()
