@@ -1,0 +1,115 @@
+"""Cold- vs warm-cache throughput of the feedback-serving subsystem.
+
+The workload mirrors preference-pair collection: every task's response
+library, with duplicates, scored against the full 15-rule book — including
+the highway-merge scenario that exists only in the serving workload.  The
+cold pass verifies every unique response; the warm pass must answer from the
+cache, which is where the ≥2× throughput claim comes from.
+"""
+
+import time
+
+from repro.core.config import FeedbackConfig
+from repro.driving import all_specifications, response_templates, training_tasks
+from repro.driving.tasks import DrivingTask
+from repro.serving import FeedbackJob, FeedbackService, ServingConfig
+
+from conftest import print_table
+
+#: The extra scenario exercised only through the serving workload.
+MERGE_TASK = DrivingTask(
+    name="merge_onto_highway",
+    prompt="merge onto the highway",
+    scenario="highway_merge",
+    split="train",
+)
+
+DUPLICATES_PER_RESPONSE = 3
+
+
+def _workload() -> list:
+    """Every template for a spread of tasks, duplicated as sampling would."""
+    jobs = []
+    for task in list(training_tasks()[:4]) + [MERGE_TASK]:
+        responses = list(response_templates(task.name, "compliant"))
+        responses += list(response_templates(task.name, "flawed"))
+        for response in responses * DUPLICATES_PER_RESPONSE:
+            jobs.append(FeedbackJob(task=task.name, scenario=task.scenario, response=response))
+    return jobs
+
+
+def test_bench_serving_cold_vs_warm_throughput(benchmark):
+    jobs = _workload()
+    service = FeedbackService(
+        all_specifications(),
+        feedback=FeedbackConfig(),
+        config=ServingConfig(backend="thread", max_workers=4, cache_size=4096),
+    )
+
+    def run():
+        cold_start = time.perf_counter()
+        cold_scores = service.score_batch(jobs)
+        cold_seconds = time.perf_counter() - cold_start
+        warm_start = time.perf_counter()
+        warm_scores = service.score_batch(jobs)
+        warm_seconds = time.perf_counter() - warm_start
+        return cold_scores, warm_scores, cold_seconds, warm_seconds
+
+    cold_scores, warm_scores, cold_seconds, warm_seconds = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    cold_throughput = len(jobs) / cold_seconds
+    warm_throughput = len(jobs) / warm_seconds
+    stats = service.cache.stats()
+    print_table(
+        "Feedback serving — cold vs warm cache",
+        ["pass", "responses", "seconds", "responses/s"],
+        [
+            ("cold", len(jobs), cold_seconds, cold_throughput),
+            ("warm", len(jobs), warm_seconds, warm_throughput),
+        ],
+    )
+    print_table(
+        "Serving telemetry",
+        ["dedup rate", "cache hit rate", "cache size", "unique verified"],
+        [(service.metrics.dedup_rate, stats.hit_rate, stats.size, stats.misses)],
+    )
+
+    assert warm_scores == cold_scores, "cache must not change scores"
+    assert warm_throughput >= 2 * cold_throughput, (
+        f"warm cache should be >=2x faster: cold {cold_throughput:.1f}/s, warm {warm_throughput:.1f}/s"
+    )
+    assert service.metrics.dedup_rate > 0, "duplicated workload must dedup"
+    assert stats.hit_rate > 0, "warm pass must hit the cache"
+
+
+def test_bench_serving_beats_serial_rescoring(benchmark):
+    """The service's whole point: repeated scoring is cheaper than the serial loop."""
+    jobs = _workload()
+    serial = FeedbackService(
+        all_specifications(), feedback=FeedbackConfig(), config=ServingConfig(enabled=False)
+    )
+    served = FeedbackService(all_specifications(), feedback=FeedbackConfig())
+
+    def run():
+        serial_start = time.perf_counter()
+        serial_scores = serial.score_batch(jobs)
+        serial_seconds = time.perf_counter() - serial_start
+        served_start = time.perf_counter()
+        served_scores = served.score_batch(jobs)
+        served_seconds = time.perf_counter() - served_start
+        return serial_scores, serial_seconds, served_scores, served_seconds
+
+    serial_scores, serial_seconds, served_scores, served_seconds = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    print_table(
+        "Serial loop vs deduplicating service (same cold workload)",
+        ["path", "seconds", "responses/s"],
+        [
+            ("serial", serial_seconds, len(jobs) / serial_seconds),
+            ("service", served_seconds, len(jobs) / served_seconds),
+        ],
+    )
+    assert served_scores == serial_scores
+    # Dedup alone removes ~2/3 of the verification work on this workload.
+    assert served_seconds < serial_seconds

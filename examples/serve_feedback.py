@@ -1,0 +1,48 @@
+"""Score a JSONL file of responses through the batched feedback service.
+
+Run with::
+
+    PYTHONPATH=src python examples/serve_feedback.py responses.jsonl
+
+or, after ``pip install -e .``, as the ``repro-serve`` console command.  With
+no argument, a small demonstration file is generated from the response
+library, scored twice (cold, then warm via a persisted cache), and the
+telemetry printed — the serving subsystem's quickstart.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.driving import response_templates, training_tasks
+from repro.serving.cli import main as serve_main
+
+
+def demo() -> int:
+    """Generate a demo workload and score it cold, then warm."""
+    workdir = Path(tempfile.mkdtemp(prefix="repro_serve_"))
+    jsonl = workdir / "responses.jsonl"
+    cache = workdir / "feedback_cache.json"
+
+    with jsonl.open("w") as out:
+        for task in training_tasks()[:4]:
+            # Duplicates on purpose: the dedup layer should absorb them.
+            templates = list(response_templates(task.name, "compliant")) * 2
+            templates += list(response_templates(task.name, "flawed"))
+            for response in templates:
+                out.write(json.dumps({"task": task.name, "response": response}) + "\n")
+
+    argv = [str(jsonl), "--cache-file", str(cache), "-o", str(workdir / "scored.jsonl")]
+    print(f"== cold run (empty cache) ==", file=sys.stderr)
+    serve_main(argv)
+    print(f"== warm run (cache at {cache}) ==", file=sys.stderr)
+    serve_main(argv)
+    print(f"scored output: {workdir / 'scored.jsonl'}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(serve_main() if len(sys.argv) > 1 else demo())

@@ -1,4 +1,48 @@
-"""Setup shim so `pip install -e .` works without network access or the wheel package."""
-from setuptools import setup
+"""Packaging for the DPO-AF reproduction (no network access required)."""
 
-setup()
+import re
+from pathlib import Path
+
+from setuptools import find_packages, setup
+
+# Single source of truth: repro.__version__ also drives feedback-cache
+# invalidation (repro.serving.cache.feedback_fingerprint).
+_init = Path(__file__).parent / "src" / "repro" / "__init__.py"
+VERSION = re.search(r'^__version__ = "([^"]+)"', _init.read_text(), re.MULTILINE).group(1)
+
+setup(
+    name="repro-dpoaf",
+    version=VERSION,
+    description=(
+        "Reproduction of 'Fine-Tuning Language Models Using Formal Methods "
+        "Feedback' (DPO-AF, MLSys 2024) with a batched feedback-serving subsystem"
+    ),
+    long_description=(
+        "A from-scratch Python reproduction of the DPO-AF loop: GLM2FSA "
+        "controller construction, LTL model checking, a Carla-substitute "
+        "simulator, a numpy language model with LoRA/DPO training, and a "
+        "batched, cached feedback-serving service (repro.serving) for "
+        "high-throughput controller verification."
+    ),
+    long_description_content_type="text/plain",
+    author="paper-repo-growth",
+    license="MIT",
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=[
+        "numpy",
+        "networkx",
+    ],
+    entry_points={
+        "console_scripts": [
+            "repro-serve=repro.serving.cli:main",
+        ],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3",
+        "Topic :: Scientific/Engineering :: Artificial Intelligence",
+    ],
+)

@@ -19,6 +19,8 @@ Sub-packages
     Formal-verification and empirical (trace-based) feedback plus ranking.
 ``repro.sim`` / ``repro.perception``
     The Carla-substitute simulator and the simulated perception stack.
+``repro.serving``
+    Batched, cached, deduplicated feedback scoring (the verification service).
 ``repro.core``
     The end-to-end DPO-AF pipeline and its configuration.
 """

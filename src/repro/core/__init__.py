@@ -5,6 +5,7 @@ from repro.core.config import (
     FeedbackConfig,
     PipelineConfig,
     SamplingConfig,
+    ServingConfig,
     paper_scale_config,
     quick_pipeline_config,
 )
@@ -18,6 +19,7 @@ __all__ = [
     "FeedbackConfig",
     "PipelineConfig",
     "SamplingConfig",
+    "ServingConfig",
     "paper_scale_config",
     "quick_pipeline_config",
     "DPOAFPipeline",

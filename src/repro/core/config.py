@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 
 from repro.dpo.trainer import DPOConfig
 from repro.lm.pretrain import PretrainConfig
+from repro.serving.config import ServingConfig
 
 
 @dataclass(frozen=True)
@@ -37,6 +38,7 @@ class PipelineConfig:
     dpo: DPOConfig = field(default_factory=DPOConfig)
     sampling: SamplingConfig = field(default_factory=SamplingConfig)
     feedback: FeedbackConfig = field(default_factory=FeedbackConfig)
+    serving: ServingConfig = field(default_factory=ServingConfig)
     corpus_samples_per_task: int = 32
     seed: int = 0
 

@@ -7,7 +7,8 @@ The pipeline wires every substrate together:
 2. for each training task, *sample* ``m`` responses from the model;
 3. construct a controller from every response (GLM2FSA) and compute
    *automated feedback* — formal verification against the task's world model,
-   or empirical evaluation in the simulator;
+   or empirical evaluation in the simulator; all scoring routes through the
+   batched, cached :class:`~repro.serving.scheduler.FeedbackService`;
 4. turn the feedback ranking into preference pairs and run *DPO with LoRA*;
 5. *evaluate* checkpoints by re-sampling responses and counting satisfied
    specifications on the training and validation task splits (Figure 9) and
@@ -25,7 +26,6 @@ from repro.dpo.trainer import DPOResult, run_dpo
 from repro.driving.specifications import all_specifications
 from repro.driving.tasks import DrivingTask, training_tasks, validation_tasks
 from repro.errors import TrainingError
-from repro.feedback.empirical import EmpiricalEvaluator
 from repro.feedback.formal import FormalVerifier
 from repro.feedback.ranker import rank_to_pairs
 from repro.lm.corpus import build_corpus, format_prompt
@@ -33,7 +33,7 @@ from repro.lm.pretrain import PretrainResult, pretrain
 from repro.lm.sampling import sample_responses
 from repro.lm.tokenizer import Tokenizer
 from repro.lm.transformer import TransformerLM
-from repro.sim.executor import SimulationGrounding
+from repro.serving.scheduler import FeedbackService
 from repro.utils.rng import seeded_rng
 
 
@@ -86,6 +86,7 @@ class PipelineResult:
     before_evaluation: ModelEvaluation
     after_evaluation: ModelEvaluation
     checkpoint_evaluations: dict = field(default_factory=dict)   # epoch -> ModelEvaluation
+    serving_metrics: dict = field(default_factory=dict)          # FeedbackService telemetry
 
     @property
     def improvement(self) -> float:
@@ -106,7 +107,13 @@ class DPOAFPipeline:
             wait_action=self.config.feedback.wait_action,
             restart_on_termination=self.config.feedback.restart_on_termination,
         )
-        self._models: dict = {}
+        self.serving = FeedbackService(
+            self.specifications,
+            feedback=self.config.feedback,
+            config=self.config.serving,
+            seed=self.config.seed,
+            verifier=self.verifier,
+        )
 
     # ------------------------------------------------------------------ #
     # Stage 1: the pre-trained model
@@ -125,33 +132,11 @@ class DPOAFPipeline:
     # ------------------------------------------------------------------ #
     def task_model(self, task: DrivingTask):
         """The (cached) world model a task is verified against."""
-        if task.scenario not in self._models:
-            self._models[task.scenario] = task.model()
-        return self._models[task.scenario]
+        return self.serving.scenario_model(task.scenario)
 
     def score_response(self, task: DrivingTask, response: str) -> int:
         """Number of specifications the response's controller satisfies."""
-        if self.config.feedback.use_empirical:
-            evaluator = EmpiricalEvaluator(
-                self.specifications,
-                SimulationGrounding(task.scenario),
-                threshold=self.config.feedback.empirical_threshold,
-            )
-            from repro.glm2fsa.builder import build_controller_from_text
-            from repro.errors import AlignmentError
-
-            try:
-                controller = build_controller_from_text(
-                    response, task=task.name, wait_action=self.config.feedback.wait_action
-                )
-            except AlignmentError:
-                return 0
-            feedback = evaluator.evaluate_controller(
-                controller, num_traces=self.config.feedback.empirical_traces, seed=self.config.seed
-            )
-            return feedback.num_satisfied
-        feedback = self.verifier.verify_response(self.task_model(task), response, task=task.name)
-        return feedback.num_satisfied
+        return self.serving.score_response(task, response)
 
     def collect_preference_pairs(
         self,
@@ -177,7 +162,7 @@ class DPOAFPipeline:
                 max_new_tokens=sampling.max_new_tokens,
                 seed=rng,
             )
-            scores = [self.score_response(task, response) for response in responses]
+            scores = self.serving.score_responses(task, responses)
             pairs.extend(rank_to_pairs(prompt, responses, scores, task=task.name))
         return pairs
 
@@ -198,7 +183,7 @@ class DPOAFPipeline:
             compliant = response_templates(task.name, "compliant")
             flawed = response_templates(task.name, "flawed")
             candidates = list(compliant) + list(flawed[:2]) + [VAGUE_RESPONSES[0]]
-            scores = [self.score_response(task, response) for response in candidates]
+            scores = self.serving.score_responses(task, candidates)
             augmented.extend(rank_to_pairs(prompt, candidates, scores, task=task.name)[:per_task])
         return augmented
 
@@ -240,7 +225,7 @@ class DPOAFPipeline:
                 max_new_tokens=self.config.sampling.max_new_tokens,
                 seed=rng,
             )
-            counts = [self.score_response(task, response) for response in responses]
+            counts = self.serving.score_responses(task, responses)
             evaluation.per_task.append(
                 TaskEvaluation(
                     task=task.name,
@@ -278,6 +263,7 @@ class DPOAFPipeline:
         checkpoint_evaluations = (
             self.evaluate_checkpoints(dpo_result, tokenizer) if evaluate_checkpoints else {}
         )
+        self.serving.flush()
         return PipelineResult(
             pretrain_result=pretrain_result,
             dpo_result=dpo_result,
@@ -285,4 +271,5 @@ class DPOAFPipeline:
             before_evaluation=before,
             after_evaluation=after,
             checkpoint_evaluations=checkpoint_evaluations,
+            serving_metrics=self.serving.metrics.snapshot(),
         )

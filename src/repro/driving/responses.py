@@ -280,6 +280,24 @@ RESPONSE_LIBRARY: dict = {
             "2. Turn left when it looks clear.",
         ),
     },
+    "merge_onto_highway": {
+        "compliant": (
+            "1. Observe the car from the left and the car from the right.\n"
+            "2. If there is a pedestrian, stop.\n"
+            "3. If there is no car from the left and no car from the right, go straight.",
+            "1. Check the car from the left and the car from the right.\n"
+            "2. If there is no car from the left and no car from the right and no pedestrian, go straight.",
+            "1. If there is a pedestrian, stop.\n"
+            "2. If there is no car from the left and no car from the right and no pedestrian, go straight.",
+        ),
+        "flawed": (
+            "1. Go straight onto the highway.",
+            "1. Accelerate and go straight onto the highway.",
+            "1. If there is no car from the right, go straight.",
+            "1. Watch for a gap in traffic.\n"
+            "2. Go straight.",
+        ),
+    },
     "merge_after_median": {
         "compliant": (
             "1. Observe the car from the left and the car from the right.\n"

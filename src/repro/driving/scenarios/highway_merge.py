@@ -1,0 +1,58 @@
+"""World model of a highway on-ramp merge.
+
+Not one of the paper's six scenarios — added to widen the verification
+workload the feedback service is exercised against.  The ego vehicle sits at
+the end of an acceleration lane: mainline traffic approaches from the left,
+vehicles already committed to the gap appear on the right, and a road worker
+can occupy the shoulder next to the merge point.  Merging is the
+``go_straight`` manoeuvre, legal only when both lanes are clear.
+"""
+
+from __future__ import annotations
+
+from repro.automata.transition_system import TransitionSystem, build_model_from_labels
+from repro.driving.propositions import DRIVING_VOCABULARY, with_derived_propositions
+
+_LABELS = {
+    "hm_clear": [],
+    "hm_mainline": ["car_from_left"],
+    "hm_gap_taken": ["car_from_right"],
+    "hm_dense": ["car_from_left", "car_from_right"],
+    "hm_worker": ["pedestrian_at_right"],
+}
+
+# Mainline platoons arrive and pass; the gap on the right fills and clears;
+# dense traffic always thins eventually (no self-loop on ``hm_dense``) so a
+# yielding controller is not starved.  The road worker is transient, as the
+# pedestrian-fairness convention of every scenario model requires.
+_TRANSITIONS = [
+    ("hm_clear", "hm_clear"),
+    ("hm_clear", "hm_mainline"),
+    ("hm_clear", "hm_gap_taken"),
+    ("hm_clear", "hm_worker"),
+    ("hm_mainline", "hm_mainline"),
+    ("hm_mainline", "hm_clear"),
+    ("hm_mainline", "hm_dense"),
+    ("hm_gap_taken", "hm_gap_taken"),
+    ("hm_gap_taken", "hm_clear"),
+    ("hm_gap_taken", "hm_dense"),
+    ("hm_dense", "hm_mainline"),
+    ("hm_dense", "hm_gap_taken"),
+    ("hm_dense", "hm_clear"),
+    ("hm_worker", "hm_clear"),
+    ("hm_worker", "hm_mainline"),
+]
+
+_INITIAL_STATES = list(_LABELS)
+
+
+def highway_merge_model() -> TransitionSystem:
+    """Build the highway on-ramp merge model."""
+    labels = {state: with_derived_propositions(props) for state, props in _LABELS.items()}
+    return build_model_from_labels(
+        name="highway_merge",
+        vocabulary=DRIVING_VOCABULARY,
+        labels=labels,
+        transitions=_TRANSITIONS,
+        initial_states=_INITIAL_STATES,
+    )

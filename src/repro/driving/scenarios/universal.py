@@ -10,6 +10,7 @@ from __future__ import annotations
 from functools import reduce
 
 from repro.automata.transition_system import TransitionSystem
+from repro.driving.scenarios.highway_merge import highway_merge_model
 from repro.driving.scenarios.left_turn_signal import left_turn_signal_model
 from repro.driving.scenarios.pedestrian_crossing import pedestrian_crossing_model
 from repro.driving.scenarios.roundabout import roundabout_model
@@ -24,6 +25,7 @@ SCENARIO_BUILDERS = {
     "two_way_stop_intersection": two_way_stop_model,
     "roundabout": roundabout_model,
     "pedestrian_crossing": pedestrian_crossing_model,
+    "highway_merge": highway_merge_model,
 }
 
 

@@ -1,0 +1,57 @@
+"""Batched, cached feedback serving for high-throughput controller verification.
+
+Every stage of the DPO-AF loop — preference-pair collection, template
+augmentation, checkpoint evaluation — reduces to the same primitive: *score a
+language-model response against a scenario's rule book*.  Done inline, that
+primitive rebuilds a GLM2FSA controller and re-runs the model checker (or
+simulator) per call, so feedback cost scales with samples × tasks × epochs.
+This package turns it into a standalone service with four layers:
+
+``dedup``
+    Score-preserving response canonicalisation, so the many identical
+    responses a small model samples verify exactly once per batch
+    (:func:`~repro.serving.dedup.canonicalize_response`,
+    :func:`~repro.serving.dedup.dedupe_responses`).
+``cache``
+    A content-addressed LRU result cache keyed by a SHA-256 digest of
+    ``(scenario, canonical response, feedback fingerprint)``, with hit/miss
+    stats and optional JSON persistence
+    (:class:`~repro.serving.cache.FeedbackCache`).
+``scheduler``
+    :class:`~repro.serving.scheduler.FeedbackService` — accepts batches of
+    :class:`~repro.serving.scheduler.FeedbackJob`, partitions cache hits from
+    misses, fans misses out to a configurable ``concurrent.futures`` backend,
+    and scatters scores back in deterministic submission order.  World models,
+    formal verifiers and empirical evaluators are constructed once per
+    scenario, not once per response.
+``metrics``
+    Throughput / latency / hit-rate telemetry
+    (:class:`~repro.serving.metrics.ServingMetrics`), surfaced on
+    :class:`~repro.core.pipeline.PipelineResult` as ``serving_metrics``.
+
+Scores produced with serving enabled are bitwise-identical to the serial
+reference path (``ServingConfig(enabled=False)``): the cache key covers every
+input that can influence a score, and canonicalisation only discards
+whitespace the step parser provably ignores.
+"""
+
+from repro.serving.cache import CacheStats, FeedbackCache, cache_key, feedback_fingerprint, model_digest
+from repro.serving.config import ServingConfig
+from repro.serving.dedup import canonicalize_response, dedupe_responses, first_occurrence
+from repro.serving.metrics import ServingMetrics
+from repro.serving.scheduler import FeedbackJob, FeedbackService
+
+__all__ = [
+    "CacheStats",
+    "FeedbackCache",
+    "cache_key",
+    "feedback_fingerprint",
+    "model_digest",
+    "ServingConfig",
+    "canonicalize_response",
+    "dedupe_responses",
+    "first_occurrence",
+    "ServingMetrics",
+    "FeedbackJob",
+    "FeedbackService",
+]

@@ -1,0 +1,171 @@
+"""Content-addressed result cache for verification feedback.
+
+Feedback is a pure function of ``(scenario, canonical response text, feedback
+mode, feedback configuration, specification set)`` — the controller built from
+a response and the world model it is checked against are both deterministic.
+The cache therefore keys entries by a SHA-256 digest of exactly those inputs,
+evicts least-recently-used entries past a size bound, and can persist its
+contents as JSON (via :mod:`repro.utils.serialization`) so a warm cache
+survives across runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping
+
+from repro.utils.serialization import dump_json, load_json
+
+#: Bump when the key layout changes so stale persisted caches are ignored.
+CACHE_SCHEMA_VERSION = 1
+
+
+def feedback_fingerprint(feedback, specifications: Mapping, *, seed: int = 0) -> str:
+    """Canonical string identifying one feedback configuration.
+
+    Covers everything besides the response/scenario that can change a score:
+    the feedback mode and its parameters, the empirical seed, the full
+    specification set (names *and* formulas — two rule books sharing a name
+    must not share cache entries), and the package version, so persisted
+    caches are invalidated when the scoring machinery itself (parser,
+    lexicon, checker) changes across releases.
+    """
+    from repro import __version__
+
+    specs = sorted(f"{name}={formula}" for name, formula in specifications.items())
+    parts = {
+        "version": __version__,
+        "mode": "empirical" if feedback.use_empirical else "formal",
+        "wait_action": feedback.wait_action,
+        "restart_on_termination": feedback.restart_on_termination,
+        "empirical_traces": feedback.empirical_traces if feedback.use_empirical else None,
+        "empirical_threshold": feedback.empirical_threshold if feedback.use_empirical else None,
+        "seed": seed if feedback.use_empirical else None,
+        "specifications": specs,
+    }
+    return json.dumps(parts, sort_keys=True)
+
+
+def model_digest(model) -> str:
+    """Digest of a world model's structure (states, labels, transitions).
+
+    Part of the cache key so that editing a scenario model — or supplying a
+    custom ``model_builder`` — cannot make a persisted cache serve scores
+    computed against the old model.
+    """
+    payload = json.dumps(
+        {
+            "name": model.name,
+            "states": sorted(model.states),
+            "labels": {state: sorted(model.label(state)) for state in model.states},
+            "transitions": sorted(model.transitions()),
+            "initial": sorted(model.initial_states),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def cache_key(scenario: str, canonical_response: str, fingerprint: str, scenario_digest: str = "") -> str:
+    """Content address of one feedback result."""
+    payload = json.dumps(
+        {
+            "v": CACHE_SCHEMA_VERSION,
+            "scenario": scenario,
+            "model": scenario_digest,
+            "response": canonical_response,
+            "config": fingerprint,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss/eviction counters of a :class:`FeedbackCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    size: int = 0
+    max_entries: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+
+class FeedbackCache:
+    """LRU-bounded mapping from cache key to feedback score."""
+
+    def __init__(self, max_entries: int = 4096):
+        if max_entries <= 0:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: OrderedDict = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str):
+        """The cached score for ``key`` (refreshing recency), or None."""
+        if key not in self._entries:
+            self._misses += 1
+            return None
+        self._hits += 1
+        self._entries.move_to_end(key)
+        return self._entries[key]
+
+    def put(self, key: str, score) -> None:
+        """Insert (or refresh) an entry, evicting the LRU entry when full."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = score
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            size=len(self._entries),
+            max_entries=self.max_entries,
+        )
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    # ------------------------------------------------------------------ #
+    def save(self, path: str | Path) -> Path:
+        """Persist the entries (recency order preserved) as JSON."""
+        payload = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "max_entries": self.max_entries,
+            "entries": [[key, score] for key, score in self._entries.items()],
+        }
+        return dump_json(payload, path)
+
+    @classmethod
+    def load(cls, path: str | Path, *, max_entries: int | None = None) -> "FeedbackCache":
+        """Rebuild a cache from :meth:`save` output; stale schemas load empty."""
+        payload = load_json(path)
+        cache = cls(max_entries=max_entries or payload.get("max_entries", 4096))
+        if payload.get("schema") == CACHE_SCHEMA_VERSION:
+            for key, score in payload.get("entries", []):
+                cache.put(key, score)
+        return cache

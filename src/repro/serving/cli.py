@@ -1,0 +1,128 @@
+"""``repro-serve`` — score a JSONL file of responses through the feedback service.
+
+Input: one JSON object per line with a ``task`` (a name from
+:mod:`repro.driving.tasks`) and a ``response`` (the step-by-step text)::
+
+    {"task": "turn_right_traffic_light", "response": "1. Observe the traffic light. ..."}
+
+A record may instead name its verification ``scenario`` directly, which also
+covers tasks outside the built-in catalogue::
+
+    {"task": "merge_onto_highway", "scenario": "highway_merge", "response": "..."}
+
+Output: the same objects with a ``score`` field, one per line, followed by a
+telemetry summary on stderr.  A persisted cache file makes repeated
+invocations warm-start.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Score step-by-step driving responses through the batched feedback service.",
+    )
+    parser.add_argument("jsonl", type=Path, help="input JSONL file of {task, response} objects")
+    parser.add_argument("-o", "--output", type=Path, default=None, help="output JSONL path (default: stdout)")
+    parser.add_argument("--mode", choices=("formal", "empirical"), default="formal", help="feedback channel")
+    parser.add_argument("--core-specs", action="store_true", help="score against Φ1-Φ5 only instead of all 15 rules")
+    parser.add_argument("--backend", choices=("serial", "thread"), default="thread", help="worker-pool backend")
+    parser.add_argument("--max-workers", type=int, default=4, help="worker-pool width")
+    parser.add_argument("--cache-size", type=int, default=4096, help="LRU bound on the result cache")
+    parser.add_argument("--cache-file", type=Path, default=None, help="persist/warm-start the cache at this path")
+    parser.add_argument("--seed", type=int, default=0, help="seed for empirical trace collection")
+    return parser
+
+
+def load_jobs(path: Path) -> list:
+    """Parse the input JSONL into ``(task name, scenario, response)`` records."""
+    from repro.driving.scenarios.universal import SCENARIO_BUILDERS
+    from repro.driving.tasks import task_by_name
+
+    jobs = []
+    for line_number, line in enumerate(path.read_text().splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{line_number}: invalid JSON ({exc})") from exc
+        if not isinstance(record, dict):
+            raise ValueError(f"{path}:{line_number}: each line must be a JSON object, got {type(record).__name__}")
+        if "task" not in record or "response" not in record:
+            raise ValueError(f"{path}:{line_number}: each record needs 'task' and 'response' fields")
+        scenario = record.get("scenario")
+        if scenario is None:
+            try:
+                scenario = task_by_name(record["task"]).scenario
+            except KeyError as exc:
+                raise ValueError(
+                    f"{path}:{line_number}: {exc.args[0]} (or add a 'scenario' field to the record)"
+                ) from exc
+        elif scenario not in SCENARIO_BUILDERS:
+            raise ValueError(
+                f"{path}:{line_number}: unknown scenario {scenario!r}; known: {sorted(SCENARIO_BUILDERS)}"
+            )
+        jobs.append((record["task"], scenario, record["response"]))
+    return jobs
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+
+    from repro.core.config import FeedbackConfig
+    from repro.driving.specifications import all_specifications, core_specifications
+    from repro.serving import FeedbackJob, FeedbackService, ServingConfig
+
+    specifications = core_specifications() if args.core_specs else all_specifications()
+    service = FeedbackService(
+        specifications,
+        feedback=FeedbackConfig(use_empirical=args.mode == "empirical"),
+        config=ServingConfig(
+            backend=args.backend,
+            max_workers=args.max_workers,
+            cache_size=args.cache_size,
+            persist_path=str(args.cache_file) if args.cache_file else None,
+        ),
+        seed=args.seed,
+    )
+
+    try:
+        jobs = load_jobs(args.jsonl)
+    except (OSError, ValueError) as exc:
+        print(f"repro-serve: {exc}", file=sys.stderr)
+        return 2
+
+    scores = service.score_batch(
+        [FeedbackJob(task=task, scenario=scenario, response=response) for task, scenario, response in jobs]
+    )
+    service.flush()
+
+    out = args.output.open("w") if args.output else sys.stdout
+    try:
+        for (task, scenario, response), score in zip(jobs, scores):
+            out.write(json.dumps({"task": task, "scenario": scenario, "response": response, "score": score}) + "\n")
+    finally:
+        if args.output:
+            out.close()
+
+    telemetry = service.metrics.snapshot()
+    print(
+        f"scored {telemetry['jobs']} responses ({telemetry['unique_jobs']} unique) "
+        f"in {telemetry['total_seconds']:.2f}s — "
+        f"{telemetry['throughput']:.1f} responses/s, "
+        f"hit rate {telemetry['hit_rate']:.0%}, dedup rate {telemetry['dedup_rate']:.0%}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

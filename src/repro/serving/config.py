@@ -1,0 +1,52 @@
+"""Configuration of the feedback-serving subsystem.
+
+Lives inside :mod:`repro.serving` (rather than :mod:`repro.core.config`) so
+the serving package has no import-time dependency on the pipeline layer; the
+core config re-exports :class:`ServingConfig` for callers assembling a
+:class:`~repro.core.config.PipelineConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Supported worker-pool backends for scoring cache misses.
+BACKENDS: tuple = ("serial", "thread")
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """How batched feedback scoring is executed.
+
+    Parameters
+    ----------
+    enabled:
+        When False the service scores every job serially with no cache or
+        dedup — the bitwise reference path the cached path must match.
+    cache_size:
+        LRU bound on the result cache (entries are a hash key plus an int).
+    backend:
+        ``"thread"`` fans cache misses out to a ``ThreadPoolExecutor``;
+        ``"serial"`` scores them inline.  Both produce identical, input-order
+        results.
+    max_workers:
+        Pool width for the ``"thread"`` backend.
+    persist_path:
+        Optional JSON file the cache is loaded from at startup and flushed to
+        by :meth:`~repro.serving.scheduler.FeedbackService.flush`, warming
+        later runs.
+    """
+
+    enabled: bool = True
+    cache_size: int = 4096
+    backend: str = "thread"
+    max_workers: int = 4
+    persist_path: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ValueError(f"unknown serving backend {self.backend!r}; known: {BACKENDS}")
+        if self.cache_size <= 0:
+            raise ValueError(f"cache_size must be positive, got {self.cache_size}")
+        if self.max_workers <= 0:
+            raise ValueError(f"max_workers must be positive, got {self.max_workers}")

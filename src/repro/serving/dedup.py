@@ -1,0 +1,65 @@
+"""Response canonicalization and within-batch deduplication.
+
+A freshly pre-trained small model frequently samples the *same* step-by-step
+response several times per prompt; template augmentation repeats the library
+verbatim every epoch.  Verification feedback depends only on the parsed step
+content, so two responses that differ in line endings, numbering whitespace or
+trailing blanks induce identical controllers and identical scores.  The
+canonical form below normalises exactly those differences — everything the
+semantic parser (:func:`repro.glm2fsa.semantic_parser.parse_response`, which
+splits on lines and strips each one) provably ignores — so the service can
+verify each distinct response once per batch and once per cache lifetime.
+"""
+
+from __future__ import annotations
+
+
+def canonicalize_response(text: str) -> str:
+    """Normalise a response to its score-equivalent canonical form.
+
+    Applied transformations (each invisible to the line-based step parser):
+
+    * ``\\r\\n`` / ``\\r`` → ``\\n``;
+    * leading/trailing whitespace stripped from every line;
+    * empty lines dropped (the parser skips them).
+
+    Whitespace *inside* a line is preserved: the alignment lexicon matches
+    phrases with exact single spaces, so collapsing internal runs could map
+    two differently-scoring responses onto one canonical form.
+    """
+    lines = text.replace("\r\n", "\n").replace("\r", "\n").split("\n")
+    canonical = [line.strip() for line in lines]
+    return "\n".join(line for line in canonical if line)
+
+
+def first_occurrence(items) -> tuple:
+    """Collapse a sequence to its distinct items, preserving first-seen order.
+
+    Returns ``(unique, assignment)`` where ``assignment[i]`` is the index into
+    ``unique`` for the ``i``-th input — the scatter map shared by
+    :func:`dedupe_responses` and the scheduler's per-key dedup.
+    """
+    unique: list = []
+    index_of: dict = {}
+    assignment: list = []
+    for item in items:
+        if item not in index_of:
+            index_of[item] = len(unique)
+            unique.append(item)
+        assignment.append(index_of[item])
+    return unique, assignment
+
+
+def dedupe_responses(responses) -> tuple:
+    """Collapse a batch to its unique canonical responses.
+
+    Returns ``(unique, assignment)`` where ``unique`` is the list of distinct
+    canonical forms in first-appearance order and ``assignment[i]`` is the
+    index into ``unique`` for the ``i``-th input response — so scores computed
+    for ``unique`` scatter back to the original order deterministically::
+
+        unique, assignment = dedupe_responses(batch)
+        scores = [score(u) for u in unique]
+        per_response = [scores[j] for j in assignment]
+    """
+    return first_occurrence(canonicalize_response(response) for response in responses)

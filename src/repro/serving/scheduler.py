@@ -1,0 +1,265 @@
+"""The batched feedback service: dedup → cache → worker pool → scatter.
+
+:class:`FeedbackService` is the single entry point through which the pipeline
+(and anything else) scores language-model responses.  A batch of ``(task,
+response)`` jobs is canonicalised and deduplicated, cache hits are answered
+immediately, and only the remaining unique misses are verified — serially or
+on a thread pool — before results scatter back to the original submission
+order.  World models, formal verifiers and empirical evaluators are built once
+per scenario and reused across every batch.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.errors import AlignmentError
+from repro.feedback.empirical import EmpiricalEvaluator
+from repro.feedback.formal import FormalVerifier
+from repro.glm2fsa.builder import build_controller_from_text
+from repro.serving.cache import FeedbackCache, cache_key, feedback_fingerprint, model_digest
+from repro.serving.config import ServingConfig
+from repro.serving.dedup import canonicalize_response, first_occurrence
+from repro.serving.metrics import ServingMetrics
+
+
+@dataclass(frozen=True)
+class FeedbackJob:
+    """One scoring request: a response to verify in a task's scenario."""
+
+    task: str
+    scenario: str
+    response: str
+
+
+class FeedbackService:
+    """Batched, cached scoring of responses against the rule book.
+
+    Parameters
+    ----------
+    specifications:
+        Mapping ``{name: Formula}`` every job is scored against.
+    feedback:
+        A :class:`~repro.core.config.FeedbackConfig` selecting formal
+        verification or empirical (simulator) evaluation and its parameters.
+    config:
+        A :class:`~repro.serving.config.ServingConfig`; defaults to the
+        cached, thread-backed configuration.
+    seed:
+        Base seed for empirical trace collection (matching the pipeline's
+        ``config.seed`` so cached and uncached scores agree).
+    model_builder:
+        ``scenario name -> TransitionSystem``; defaults to the driving
+        scenario catalogue.
+    verifier:
+        Optional pre-built :class:`FormalVerifier` to share (e.g. with a
+        pipeline that also exposes one); constructed from ``feedback``
+        otherwise.
+    """
+
+    def __init__(
+        self,
+        specifications: Mapping,
+        *,
+        feedback=None,
+        config: ServingConfig | None = None,
+        seed: int = 0,
+        model_builder=None,
+        verifier: FormalVerifier | None = None,
+    ):
+        if feedback is None:
+            from repro.core.config import FeedbackConfig  # deferred: core sits above serving
+
+            feedback = FeedbackConfig()
+        if model_builder is None:
+            from repro.driving.scenarios.universal import scenario_model
+
+            model_builder = scenario_model
+        self.specifications = dict(specifications)
+        self.feedback = feedback
+        self.config = config or ServingConfig()
+        self.seed = seed
+        self.model_builder = model_builder
+        self.verifier = verifier or FormalVerifier(
+            self.specifications,
+            wait_action=feedback.wait_action,
+            restart_on_termination=feedback.restart_on_termination,
+        )
+        self.metrics = ServingMetrics()
+        self.cache = self._initial_cache()
+        self._fingerprint = feedback_fingerprint(feedback, self.specifications, seed=seed)
+        self._models: dict = {}
+        self._evaluators: dict = {}
+        self._digests: dict = {}
+
+    def _initial_cache(self) -> FeedbackCache:
+        path = self.config.persist_path
+        if path is not None:
+            from pathlib import Path
+
+            if Path(path).exists():
+                try:
+                    return FeedbackCache.load(path, max_entries=self.config.cache_size)
+                except (OSError, ValueError, KeyError, TypeError):
+                    # Warm-starting is best-effort: an unreadable or corrupt
+                    # persisted cache must not take the service down.
+                    pass
+        return FeedbackCache(max_entries=self.config.cache_size)
+
+    # ------------------------------------------------------------------ #
+    # Shared per-scenario machinery
+    # ------------------------------------------------------------------ #
+    def scenario_model(self, scenario: str):
+        """The (cached) world model responses in ``scenario`` are checked against."""
+        if scenario not in self._models:
+            self._models[scenario] = self.model_builder(scenario)
+        return self._models[scenario]
+
+    def evaluator(self, scenario: str) -> EmpiricalEvaluator:
+        """The (cached) empirical evaluator for ``scenario``."""
+        if scenario not in self._evaluators:
+            from repro.sim.executor import SimulationGrounding  # deferred: optional path
+
+            self._evaluators[scenario] = EmpiricalEvaluator(
+                self.specifications,
+                SimulationGrounding(scenario),
+                threshold=self.feedback.empirical_threshold,
+            )
+        return self._evaluators[scenario]
+
+    def scenario_digest(self, scenario: str) -> str:
+        """The (cached) structural digest of a scenario's world model.
+
+        Part of every cache key in formal mode, so edited world models (or a
+        custom ``model_builder``) never collide with a stale persisted cache.
+        Empirical scores never touch the formal model — its digest would both
+        be meaningless and force simulator-only scenarios to have one — so
+        empirical mode keys on the fingerprint (mode, traces, seed, version)
+        alone.
+        """
+        if self.feedback.use_empirical:
+            return ""
+        if scenario not in self._digests:
+            self._digests[scenario] = model_digest(self.scenario_model(scenario))
+        return self._digests[scenario]
+
+    def _prepare_scenarios(self, jobs: Sequence[FeedbackJob]) -> None:
+        """Build each scenario's model/evaluator once, before any thread fan-out."""
+        for scenario in {job.scenario for job in jobs}:
+            if self.feedback.use_empirical:
+                self.evaluator(scenario)
+            else:
+                self.scenario_model(scenario)
+
+    # ------------------------------------------------------------------ #
+    # Scoring
+    # ------------------------------------------------------------------ #
+    def _score_uncached(self, job: FeedbackJob) -> int:
+        """Verify one job from scratch (the serial reference computation)."""
+        if self.feedback.use_empirical:
+            try:
+                controller = build_controller_from_text(
+                    job.response, task=job.task, wait_action=self.feedback.wait_action
+                )
+            except AlignmentError:
+                return 0
+            feedback = self.evaluator(job.scenario).evaluate_controller(
+                controller, num_traces=self.feedback.empirical_traces, seed=self.seed
+            )
+            return feedback.num_satisfied
+        feedback = self.verifier.verify_response(
+            self.scenario_model(job.scenario), job.response, task=job.task
+        )
+        return feedback.num_satisfied
+
+    def score_batch(self, jobs: Sequence[FeedbackJob]) -> list:
+        """Scores for ``jobs``, in submission order.
+
+        Deduplicates by ``(scenario, canonical response)``, answers hits from
+        the cache, fans the remaining misses out to the configured backend,
+        and records telemetry.  Disabled serving degenerates to a serial loop
+        with no cache — the reference path.
+        """
+        jobs = list(jobs)
+        start = time.perf_counter()
+        if not self.config.enabled:
+            scores = [self._score_uncached(job) for job in jobs]
+            self.metrics.record_batch(
+                jobs=len(jobs), unique=len(jobs), hits=0, misses=len(jobs),
+                seconds=time.perf_counter() - start,
+            )
+            return scores
+
+        # Dedup: first occurrence of each (scenario, canonical text) key is
+        # the representative whose score every duplicate receives.
+        self._prepare_scenarios(jobs)
+        keys = [
+            cache_key(
+                job.scenario,
+                canonicalize_response(job.response),
+                self._fingerprint,
+                self.scenario_digest(job.scenario),
+            )
+            for job in jobs
+        ]
+        unique_keys, _ = first_occurrence(keys)
+        representative: dict = {}
+        for index, key in enumerate(keys):
+            representative.setdefault(key, jobs[index])
+
+        resolved: dict = {}
+        misses: list = []
+        for key in unique_keys:
+            cached = self.cache.get(key)
+            if cached is None:
+                misses.append((key, representative[key]))
+            else:
+                resolved[key] = cached
+
+        if misses:
+            if self.config.backend == "thread" and len(misses) > 1:
+                with ThreadPoolExecutor(max_workers=self.config.max_workers) as pool:
+                    miss_scores = list(pool.map(self._score_uncached, [job for _, job in misses]))
+            else:
+                miss_scores = [self._score_uncached(job) for _, job in misses]
+            for (key, _), score in zip(misses, miss_scores):
+                resolved[key] = score
+                self.cache.put(key, score)
+
+        self.metrics.record_batch(
+            jobs=len(jobs),
+            unique=len(unique_keys),
+            hits=len(unique_keys) - len(misses),
+            misses=len(misses),
+            seconds=time.perf_counter() - start,
+        )
+        return [resolved[key] for key in keys]
+
+    def score_responses(self, task, responses: Iterable[str]) -> list:
+        """Scores for several responses to one task (a common batch shape)."""
+        return self.score_batch(
+            [FeedbackJob(task=task.name, scenario=task.scenario, response=r) for r in responses]
+        )
+
+    def score_response(self, task, response: str) -> int:
+        """Score a single response (still cached/deduplicated)."""
+        return self.score_responses(task, [response])[0]
+
+    # ------------------------------------------------------------------ #
+    def flush(self) -> bool:
+        """Persist the cache when a ``persist_path`` is configured.
+
+        Best-effort, like warm-starting: a full disk or revoked permissions
+        must not destroy the results the cache merely accelerates.  Returns
+        True when an enabled persist path was written.
+        """
+        if self.config.persist_path is None:
+            return False
+        try:
+            self.cache.save(self.config.persist_path)
+            return True
+        except OSError:
+            return False

@@ -62,6 +62,12 @@ def _agents_for_scenario(name: str) -> AgentSet:
             PedestrianAgent(position="front", spawn_probability=0.3),
             PedestrianAgent(position="right", spawn_probability=0.2),
         ])
+    if name == "highway_merge":
+        return AgentSet([
+            VehicleAgent(direction="left", spawn_probability=0.4),
+            VehicleAgent(direction="right", spawn_probability=0.2),
+            PedestrianAgent(position="right", spawn_probability=0.08),
+        ])
     raise SimulationError(f"unknown scenario {name!r}")
 
 

@@ -1,0 +1,289 @@
+"""Tests for the batched feedback-serving subsystem (cache, dedup, scheduler)."""
+
+import pytest
+
+from repro.core.config import FeedbackConfig
+from repro.driving import core_specifications, response_templates, task_by_name
+from repro.feedback import EmpiricalEvaluator, FormalVerifier
+from repro.glm2fsa import build_controller_from_text
+from repro.serving import (
+    FeedbackCache,
+    FeedbackJob,
+    FeedbackService,
+    ServingConfig,
+    cache_key,
+    canonicalize_response,
+    dedupe_responses,
+    feedback_fingerprint,
+)
+from repro.sim import SimulationGrounding
+
+
+class TestCanonicalization:
+    def test_whitespace_variants_collapse(self):
+        base = "1. Observe the traffic light.\n2. If there is a pedestrian, stop."
+        variants = [
+            base,
+            base.replace("\n", "\r\n"),
+            "  1. Observe the traffic light.  \n\n2. If there is a pedestrian, stop.\n",
+            base + "\n\n",
+        ]
+        forms = {canonicalize_response(v) for v in variants}
+        assert len(forms) == 1
+
+    def test_internal_whitespace_is_preserved(self):
+        # The alignment lexicon is sensitive to spacing inside a line, so the
+        # canonical form must not merge these (they could score differently).
+        a = canonicalize_response("1. If there is no car  from the left, turn right.")
+        b = canonicalize_response("1. If there is no car from the left, turn right.")
+        assert a != b
+
+    def test_dedupe_assignment_reconstructs_batch(self):
+        batch = ["r1", "r2", "r1\n", " r2 ", "r3", "r1"]
+        unique, assignment = dedupe_responses(batch)
+        assert unique == ["r1", "r2", "r3"]
+        assert [unique[j] for j in assignment] == ["r1", "r2", "r1", "r2", "r3", "r1"]
+
+
+class TestCacheKey:
+    def test_key_is_stable(self):
+        fp = feedback_fingerprint(FeedbackConfig(), core_specifications())
+        assert cache_key("roundabout", "1. stop", fp) == cache_key("roundabout", "1. stop", fp)
+
+    def test_key_separates_every_input(self):
+        fp = feedback_fingerprint(FeedbackConfig(), core_specifications())
+        base = cache_key("roundabout", "1. stop", fp)
+        assert cache_key("highway_merge", "1. stop", fp) != base
+        assert cache_key("roundabout", "1. go straight", fp) != base
+        empirical_fp = feedback_fingerprint(FeedbackConfig(use_empirical=True), core_specifications())
+        assert cache_key("roundabout", "1. stop", empirical_fp) != base
+
+    def test_model_digest_invalidates_stale_entries(self, tmp_path):
+        """An edited world model must not collide with a persisted cache."""
+        from repro.driving import scenario_model
+
+        def patched_builder(name):
+            model = scenario_model(name)
+            model.add_state("digest_probe", [])
+            model.add_transition(model.states[0], "digest_probe")
+            return model
+
+        config = ServingConfig(persist_path=str(tmp_path / "cache.json"))
+        original = FeedbackService(core_specifications(), feedback=FeedbackConfig(), config=config)
+        job = FeedbackJob(task="t", scenario="roundabout", response="1. If there is a pedestrian, stop.")
+        original.score_batch([job])
+        original.flush()
+        edited = FeedbackService(
+            core_specifications(), feedback=FeedbackConfig(), config=config, model_builder=patched_builder
+        )
+        edited.score_batch([job])
+        assert edited.metrics.cache_hits == 0 and edited.metrics.cache_misses == 1
+
+    def test_fingerprint_covers_spec_set_and_seed(self):
+        specs = core_specifications()
+        fewer = {name: specs[name] for name in list(specs)[:2]}
+        assert feedback_fingerprint(FeedbackConfig(), specs) != feedback_fingerprint(FeedbackConfig(), fewer)
+        # The empirical seed changes traces, hence scores; the formal path ignores it.
+        empirical = FeedbackConfig(use_empirical=True)
+        assert feedback_fingerprint(empirical, specs, seed=0) != feedback_fingerprint(empirical, specs, seed=1)
+        assert feedback_fingerprint(FeedbackConfig(), specs, seed=0) == feedback_fingerprint(FeedbackConfig(), specs, seed=1)
+
+
+class TestFeedbackCache:
+    def test_lru_eviction_order(self):
+        cache = FeedbackCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1      # refreshes "a"; "b" is now LRU
+        cache.put("c", 3)
+        assert "b" not in cache and "a" in cache and "c" in cache
+        stats = cache.stats()
+        assert stats.evictions == 1 and stats.size == 2
+
+    def test_hit_miss_counters(self):
+        cache = FeedbackCache(max_entries=4)
+        assert cache.get("missing") is None
+        cache.put("k", 7)
+        assert cache.get("k") == 7
+        stats = cache.stats()
+        assert stats.hits == 1 and stats.misses == 1 and stats.hit_rate == 0.5
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ValueError):
+            FeedbackCache(max_entries=0)
+
+    def test_persistence_roundtrip(self, tmp_path):
+        cache = FeedbackCache(max_entries=8)
+        cache.put("x", 3)
+        cache.put("y", 0)
+        path = cache.save(tmp_path / "cache.json")
+        loaded = FeedbackCache.load(path)
+        assert loaded.get("x") == 3 and loaded.get("y") == 0 and len(loaded) == 2
+
+
+@pytest.fixture(scope="module")
+def right_turn_task():
+    return task_by_name("turn_right_traffic_light")
+
+
+@pytest.fixture(scope="module")
+def batch_responses(right_turn_task):
+    compliant = response_templates(right_turn_task.name, "compliant")
+    flawed = response_templates(right_turn_task.name, "flawed")
+    # Duplicates and whitespace variants, as sampling produces them.
+    return [compliant[0], flawed[0], compliant[0], compliant[0] + "\n", flawed[1], "1. Drive nicely."]
+
+
+class TestFeedbackService:
+    def test_cached_formal_score_matches_recomputation(self, right_turn_task):
+        service = FeedbackService(core_specifications(), feedback=FeedbackConfig())
+        response = response_templates(right_turn_task.name, "compliant")[0]
+        first = service.score_response(right_turn_task, response)
+        second = service.score_response(right_turn_task, response)
+        verifier = FormalVerifier(core_specifications())
+        direct = verifier.verify_response(right_turn_task.model(), response, task=right_turn_task.name)
+        assert first == second == direct.num_satisfied
+        assert service.cache.stats().hits == 1
+
+    def test_cached_empirical_score_matches_recomputation(self, right_turn_task):
+        feedback = FeedbackConfig(use_empirical=True, empirical_traces=5)
+        service = FeedbackService(core_specifications(), feedback=feedback, seed=0)
+        response = response_templates(right_turn_task.name, "compliant")[0]
+        first = service.score_response(right_turn_task, response)
+        second = service.score_response(right_turn_task, response)
+        evaluator = EmpiricalEvaluator(
+            core_specifications(),
+            SimulationGrounding(right_turn_task.scenario),
+            threshold=feedback.empirical_threshold,
+        )
+        controller = build_controller_from_text(
+            response, task=right_turn_task.name, wait_action=feedback.wait_action
+        )
+        direct = evaluator.evaluate_controller(controller, num_traces=5, seed=0)
+        assert first == second == direct.num_satisfied
+        assert service.cache.stats().hits == 1
+
+    def test_unparseable_response_scores_zero(self, right_turn_task):
+        for feedback in (FeedbackConfig(), FeedbackConfig(use_empirical=True, empirical_traces=3)):
+            service = FeedbackService(core_specifications(), feedback=feedback)
+            assert service.score_response(right_turn_task, "Please drive safely out there.") == 0
+
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    def test_batch_order_is_deterministic(self, right_turn_task, batch_responses, backend):
+        config = ServingConfig(backend=backend, max_workers=3)
+        service = FeedbackService(core_specifications(), feedback=FeedbackConfig(), config=config)
+        batch_scores = service.score_responses(right_turn_task, batch_responses)
+        reference = FeedbackService(
+            core_specifications(), feedback=FeedbackConfig(), config=ServingConfig(enabled=False)
+        )
+        serial_scores = [reference.score_response(right_turn_task, r) for r in batch_responses]
+        assert batch_scores == serial_scores
+        # Duplicates (exact and whitespace-variant) resolved without re-verification.
+        assert service.metrics.dedup_rate > 0
+
+    def test_disabled_serving_skips_cache(self, right_turn_task):
+        service = FeedbackService(
+            core_specifications(), feedback=FeedbackConfig(), config=ServingConfig(enabled=False)
+        )
+        response = response_templates(right_turn_task.name, "compliant")[0]
+        assert service.score_response(right_turn_task, response) == service.score_response(
+            right_turn_task, response
+        )
+        assert len(service.cache) == 0
+        assert service.metrics.hit_rate == 0.0
+
+    def test_evaluator_and_model_built_once_per_scenario(self, right_turn_task):
+        service = FeedbackService(
+            core_specifications(), feedback=FeedbackConfig(use_empirical=True, empirical_traces=3)
+        )
+        assert service.scenario_model(right_turn_task.scenario) is service.scenario_model(right_turn_task.scenario)
+        assert service.evaluator(right_turn_task.scenario) is service.evaluator(right_turn_task.scenario)
+
+    def test_corrupt_persisted_cache_is_ignored(self, right_turn_task, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text("garbage{{{")
+        config = ServingConfig(persist_path=str(path))
+        service = FeedbackService(core_specifications(), feedback=FeedbackConfig(), config=config)
+        response = response_templates(right_turn_task.name, "compliant")[0]
+        score = service.score_response(right_turn_task, response)
+        service.flush()
+        # The flush must leave a valid cache a fresh service can warm from.
+        warmed = FeedbackService(core_specifications(), feedback=FeedbackConfig(), config=config)
+        assert warmed.score_response(right_turn_task, response) == score
+        assert warmed.metrics.cache_hits == 1
+
+    def test_persisted_cache_warms_new_service(self, right_turn_task, tmp_path):
+        config = ServingConfig(persist_path=str(tmp_path / "cache.json"))
+        first = FeedbackService(core_specifications(), feedback=FeedbackConfig(), config=config)
+        response = response_templates(right_turn_task.name, "compliant")[0]
+        score = first.score_response(right_turn_task, response)
+        first.flush()
+        warmed = FeedbackService(core_specifications(), feedback=FeedbackConfig(), config=config)
+        assert warmed.score_response(right_turn_task, response) == score
+        assert warmed.metrics.cache_misses == 0 and warmed.metrics.cache_hits == 1
+
+    def test_flush_failure_is_not_fatal(self, right_turn_task, tmp_path):
+        """An unwritable cache path must not destroy the scoring results."""
+        blocked = tmp_path / "not_a_dir"
+        blocked.write_text("a file where the cache's parent dir should be")
+        config = ServingConfig(persist_path=str(blocked / "cache.json"))
+        service = FeedbackService(core_specifications(), feedback=FeedbackConfig(), config=config)
+        response = response_templates(right_turn_task.name, "compliant")[0]
+        score = service.score_response(right_turn_task, response)
+        assert service.flush() is False
+        assert score > 0
+
+    def test_metrics_snapshot_shape(self, right_turn_task, batch_responses):
+        service = FeedbackService(core_specifications(), feedback=FeedbackConfig())
+        service.score_responses(right_turn_task, batch_responses)
+        snapshot = service.metrics.snapshot()
+        assert snapshot["jobs"] == len(batch_responses)
+        assert snapshot["unique_jobs"] < snapshot["jobs"]
+        assert snapshot["throughput"] > 0
+        assert 0.0 < snapshot["dedup_rate"] < 1.0
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            ServingConfig(backend="gpu")
+
+
+class TestCli:
+    def test_scores_jsonl_with_explicit_scenario(self, tmp_path, capsys):
+        from repro.serving.cli import main
+
+        jsonl = tmp_path / "in.jsonl"
+        jsonl.write_text(
+            '{"task": "enter_roundabout", "response": "1. If there is a pedestrian, stop."}\n'
+            '{"task": "merge_onto_highway", "scenario": "highway_merge", "response": "1. Go straight onto the highway."}\n'
+        )
+        out = tmp_path / "out.jsonl"
+        assert main([str(jsonl), "--core-specs", "-o", str(out), "--backend", "serial"]) == 0
+        import json
+
+        records = [json.loads(line) for line in out.read_text().splitlines()]
+        assert [r["scenario"] for r in records] == ["roundabout", "highway_merge"]
+        assert all(isinstance(r["score"], int) for r in records)
+
+    def test_rejects_unknown_task_without_scenario(self, tmp_path, capsys):
+        from repro.serving.cli import main
+
+        jsonl = tmp_path / "in.jsonl"
+        jsonl.write_text('{"task": "fly_to_the_moon", "response": "1. Stop."}\n')
+        assert main([str(jsonl)]) == 2
+        assert "add a 'scenario' field" in capsys.readouterr().err
+
+
+class TestJobLevelApi:
+    def test_score_batch_mixed_scenarios(self):
+        tasks = [task_by_name("turn_right_traffic_light"), task_by_name("enter_roundabout")]
+        jobs = []
+        for task in tasks:
+            for response in response_templates(task.name, "compliant")[:2]:
+                jobs.append(FeedbackJob(task=task.name, scenario=task.scenario, response=response))
+        service = FeedbackService(core_specifications(), feedback=FeedbackConfig())
+        scores = service.score_batch(jobs)
+        assert len(scores) == len(jobs)
+        reference = FeedbackService(
+            core_specifications(), feedback=FeedbackConfig(), config=ServingConfig(enabled=False)
+        )
+        assert scores == reference.score_batch(jobs)
