@@ -1,39 +1,37 @@
-"""Cold- vs warm-cache throughput of the feedback-serving subsystem.
+"""Throughput of the feedback-serving subsystem.
 
-The workload mirrors preference-pair collection: every task's response
-library, with duplicates, scored against the full 15-rule book — including
-the highway-merge scenario that exists only in the serving workload.  The
-cold pass verifies every unique response; the warm pass must answer from the
-cache, which is where the ≥2× throughput claim comes from.
+Three claims are measured: a warm cache answers a repeated workload ≥2×
+faster than the cold pass; dedup alone beats the serial rescoring loop; and
+the ``"process"`` backend scales cold-batch formal verification with worker
+count on multi-core machines (on a single-core machine the sweep still runs
+and must stay score-identical, but no speedup is asserted).  The workload
+mirrors preference-pair collection: every task's response library, with
+duplicates, scored against the full 15-rule book — including the
+highway-merge scenario (``merge_onto_highway``, now in the task catalogue).
 """
 
+import os
 import time
 
 from repro.core.config import FeedbackConfig
-from repro.driving import all_specifications, response_templates, training_tasks
-from repro.driving.tasks import DrivingTask
+from repro.driving import all_specifications, response_templates, task_by_name, training_tasks
 from repro.serving import FeedbackJob, FeedbackService, ServingConfig
 
 from conftest import print_table
 
-#: The extra scenario exercised only through the serving workload.
-MERGE_TASK = DrivingTask(
-    name="merge_onto_highway",
-    prompt="merge onto the highway",
-    scenario="highway_merge",
-    split="train",
-)
+#: The highway-merge task (wired into the catalogue's training split).
+MERGE_TASK = task_by_name("merge_onto_highway")
 
 DUPLICATES_PER_RESPONSE = 3
 
 
-def _workload() -> list:
+def _workload(duplicates: int = DUPLICATES_PER_RESPONSE) -> list:
     """Every template for a spread of tasks, duplicated as sampling would."""
     jobs = []
     for task in list(training_tasks()[:4]) + [MERGE_TASK]:
         responses = list(response_templates(task.name, "compliant"))
         responses += list(response_templates(task.name, "flawed"))
-        for response in responses * DUPLICATES_PER_RESPONSE:
+        for response in responses * duplicates:
             jobs.append(FeedbackJob(task=task.name, scenario=task.scenario, response=response))
     return jobs
 
@@ -113,3 +111,113 @@ def test_bench_serving_beats_serial_rescoring(benchmark):
     assert served_scores == serial_scores
     # Dedup alone removes ~2/3 of the verification work on this workload.
     assert served_seconds < serial_seconds
+
+
+def _unique_cold_workload(copies: int = 4) -> list:
+    """``copies`` canonically-distinct variants of every template — all misses.
+
+    Each variant appends a different number of benign trailing steps, so no
+    two share a canonical form (no dedup, no cache hits) while all remain
+    parseable controllers.  This stretches the cold batch to a second or two
+    of serial verification, giving the multi-core speedup assertion margins
+    far wider than pool start-up noise.
+    """
+    jobs = []
+    for job in _workload(duplicates=1):
+        steps = len(job.response.splitlines())
+        for copy in range(copies):
+            suffix = "".join(
+                f"\n{steps + 1 + extra}. If there is a pedestrian, stop." for extra in range(copy)
+            )
+            jobs.append(FeedbackJob(task=job.task, scenario=job.scenario, response=job.response + suffix))
+    return jobs
+
+
+def test_bench_serving_process_backend_worker_scaling(benchmark):
+    """Cold formal batches through the process backend, sweeping pool width.
+
+    Every response is unique (no dedup, no cache hits), so the whole batch is
+    verification work — the workload the GIL-bound thread backend cannot
+    accelerate.  Scores must be bitwise-identical across the sweep; the
+    multi-core speedup is asserted only when the machine actually has the
+    cores to show it.
+    """
+    base_jobs = _unique_cold_workload()
+    sweeps = [("serial", 1), ("process", 1), ("process", 2), ("process", 4)]
+
+    def run():
+        results = {}
+        for backend, workers in sweeps:
+            service = FeedbackService(
+                all_specifications(),
+                feedback=FeedbackConfig(),
+                config=ServingConfig(backend=backend, max_workers=workers, cache_size=4096),
+            )
+            start = time.perf_counter()
+            scores = service.score_batch(base_jobs)
+            seconds = time.perf_counter() - start
+            results[(backend, workers)] = (scores, seconds)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        (backend, workers, seconds, len(base_jobs) / seconds)
+        for (backend, workers), (_, seconds) in results.items()
+    ]
+    print_table(
+        f"Process backend — cold formal batch vs workers ({os.cpu_count()} cores available)",
+        ["backend", "workers", "seconds", "responses/s"],
+        rows,
+    )
+
+    reference = results[("serial", 1)][0]
+    assert all(scores == reference for scores, _ in results.values()), (
+        "every backend/worker combination must produce bitwise-identical scores"
+    )
+    if (os.cpu_count() or 1) >= 2:
+        serial_seconds = results[("serial", 1)][1]
+        best_process = min(results[("process", w)][1] for w in (2, 4))
+        assert best_process < serial_seconds, (
+            f"on a {os.cpu_count()}-core machine the process backend should beat "
+            f"serial on a cold batch: serial {serial_seconds:.2f}s, process {best_process:.2f}s"
+        )
+
+
+def test_bench_serving_shared_cache_dir_warm_starts_across_services(benchmark, tmp_path):
+    """Two independent services sharing a cache directory: run 2 is all hits."""
+    jobs = _workload()
+    shared = str(tmp_path / "shared_cache")
+
+    def run():
+        first = FeedbackService(
+            all_specifications(), feedback=FeedbackConfig(),
+            config=ServingConfig(shared_cache_dir=shared),
+        )
+        cold_start = time.perf_counter()
+        cold_scores = first.score_batch(jobs)
+        cold_seconds = time.perf_counter() - cold_start
+        first.flush()
+        second = FeedbackService(
+            all_specifications(), feedback=FeedbackConfig(),
+            config=ServingConfig(shared_cache_dir=shared),
+        )
+        warm_start = time.perf_counter()
+        warm_scores = second.score_batch(jobs)
+        warm_seconds = time.perf_counter() - warm_start
+        return first, second, cold_scores, warm_scores, cold_seconds, warm_seconds
+
+    first, second, cold_scores, warm_scores, cold_seconds, warm_seconds = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    print_table(
+        "Shared cache directory — independent services, same fingerprint",
+        ["run", "seconds", "responses/s", "hit rate", "warm-started"],
+        [
+            ("cold", cold_seconds, len(jobs) / cold_seconds, first.metrics.hit_rate, first.metrics.warm_start_entries),
+            ("warm", warm_seconds, len(jobs) / warm_seconds, second.metrics.hit_rate, second.metrics.warm_start_entries),
+        ],
+    )
+    assert warm_scores == cold_scores, "a shared cache must not change scores"
+    assert second.metrics.warm_start_entries > 0, "run 2 must warm-start from run 1's shard"
+    assert second.metrics.cache_misses == 0 and second.metrics.hit_rate == 1.0
+    assert warm_seconds < cold_seconds

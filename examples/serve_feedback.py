@@ -6,8 +6,11 @@ Run with::
 
 or, after ``pip install -e .``, as the ``repro-serve`` console command.  With
 no argument, a small demonstration file is generated from the response
-library, scored twice (cold, then warm via a persisted cache), and the
-telemetry printed — the serving subsystem's quickstart.
+library (including the highway-merge task), scored twice through a *shared
+cache directory* — the second invocation warm-starts from the first's
+fingerprint shard — and the telemetry printed: the serving subsystem's
+quickstart.  On a multi-core machine, add ``--backend process`` to any
+invocation to verify cold batches in parallel worker processes.
 """
 
 from __future__ import annotations
@@ -17,28 +20,30 @@ import sys
 import tempfile
 from pathlib import Path
 
-from repro.driving import response_templates, training_tasks
+from repro.driving import response_templates, task_by_name, training_tasks
 from repro.serving.cli import main as serve_main
 
 
 def demo() -> int:
-    """Generate a demo workload and score it cold, then warm."""
+    """Generate a demo workload and score it cold, then warm, via a shared cache."""
     workdir = Path(tempfile.mkdtemp(prefix="repro_serve_"))
     jsonl = workdir / "responses.jsonl"
-    cache = workdir / "feedback_cache.json"
+    cache_dir = workdir / "feedback_cache"
 
+    tasks = list(training_tasks()[:4]) + [task_by_name("merge_onto_highway")]
     with jsonl.open("w") as out:
-        for task in training_tasks()[:4]:
+        for task in tasks:
             # Duplicates on purpose: the dedup layer should absorb them.
             templates = list(response_templates(task.name, "compliant")) * 2
             templates += list(response_templates(task.name, "flawed"))
-            for response in templates:
-                out.write(json.dumps({"task": task.name, "response": response}) + "\n")
+            for index, response in enumerate(templates):
+                record = {"task": task.name, "response": response, "id": f"{task.name}/{index}"}
+                out.write(json.dumps(record) + "\n")
 
-    argv = [str(jsonl), "--cache-file", str(cache), "-o", str(workdir / "scored.jsonl")]
-    print(f"== cold run (empty cache) ==", file=sys.stderr)
+    argv = [str(jsonl), "--cache-dir", str(cache_dir), "-o", str(workdir / "scored.jsonl")]
+    print("== cold run (empty shared cache directory) ==", file=sys.stderr)
     serve_main(argv)
-    print(f"== warm run (cache at {cache}) ==", file=sys.stderr)
+    print(f"== warm run (fingerprint shard under {cache_dir}) ==", file=sys.stderr)
     serve_main(argv)
     print(f"scored output: {workdir / 'scored.jsonl'}", file=sys.stderr)
     return 0

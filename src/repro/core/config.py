@@ -43,18 +43,25 @@ class PipelineConfig:
     seed: int = 0
 
 
-def quick_pipeline_config(seed: int = 0) -> PipelineConfig:
-    """A scaled-down configuration for tests and smoke runs (seconds, not minutes)."""
+def quick_pipeline_config(seed: int = 0, *, shared_cache_dir: str | None = None) -> PipelineConfig:
+    """A scaled-down configuration for tests and smoke runs (seconds, not minutes).
+
+    ``shared_cache_dir`` points the feedback service at a cross-run cache
+    directory (see :class:`~repro.serving.config.ServingConfig`), so repeated
+    smoke runs — and the benchmarks and CLI sharing the directory — skip
+    verification already done by an earlier run with the same fingerprint.
+    """
     return PipelineConfig(
         pretrain=PretrainConfig(num_steps=60, batch_size=8, dim=32, num_heads=2, num_layers=1, hidden_dim=64, seed=seed),
         dpo=DPOConfig(num_epochs=2, batch_size=4, checkpoint_every=1, lora_rank=2, seed=seed),
         sampling=SamplingConfig(responses_per_prompt=2, max_new_tokens=48),
+        serving=ServingConfig(shared_cache_dir=shared_cache_dir),
         corpus_samples_per_task=8,
         seed=seed,
     )
 
 
-def paper_scale_config(seed: int = 0) -> PipelineConfig:
+def paper_scale_config(seed: int = 0, *, shared_cache_dir: str | None = None) -> PipelineConfig:
     """The configuration the benchmarks use to regenerate the paper's figures.
 
     Scaled to minutes of CPU time rather than GPU-days: the corpus, epoch count
@@ -74,6 +81,7 @@ def paper_scale_config(seed: int = 0) -> PipelineConfig:
             seed=seed,
         ),
         sampling=SamplingConfig(responses_per_prompt=4),
+        serving=ServingConfig(shared_cache_dir=shared_cache_dir),
         corpus_samples_per_task=28,
         seed=seed,
     )

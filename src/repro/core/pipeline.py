@@ -8,7 +8,10 @@ The pipeline wires every substrate together:
 3. construct a controller from every response (GLM2FSA) and compute
    *automated feedback* — formal verification against the task's world model,
    or empirical evaluation in the simulator; all scoring routes through the
-   batched, cached :class:`~repro.serving.scheduler.FeedbackService`;
+   batched, cached :class:`~repro.serving.scheduler.FeedbackService`
+   (``serving.backend`` selects serial/thread/process execution of cache
+   misses, and ``serving.shared_cache_dir`` warm-starts runs from a cache
+   directory shared with the benchmarks and the ``repro-serve`` CLI);
 4. turn the feedback ranking into preference pairs and run *DPO with LoRA*;
 5. *evaluate* checkpoints by re-sampling responses and counting satisfied
    specifications on the training and validation task splits (Figure 9) and
@@ -17,6 +20,7 @@ The pipeline wires every substrate together:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -264,6 +268,8 @@ class DPOAFPipeline:
             self.evaluate_checkpoints(dpo_result, tokenizer) if evaluate_checkpoints else {}
         )
         self.serving.flush()
+        serving_metrics = self.serving.metrics.snapshot()
+        serving_metrics["cache"] = dataclasses.asdict(self.serving.cache.stats())
         return PipelineResult(
             pretrain_result=pretrain_result,
             dpo_result=dpo_result,
@@ -271,5 +277,5 @@ class DPOAFPipeline:
             before_evaluation=before,
             after_evaluation=after,
             checkpoint_evaluations=checkpoint_evaluations,
-            serving_metrics=self.serving.metrics.snapshot(),
+            serving_metrics=serving_metrics,
         )

@@ -298,6 +298,26 @@ RESPONSE_LIBRARY: dict = {
             "2. Go straight.",
         ),
     },
+    "highway_on_ramp": {
+        "compliant": (
+            "1. Observe the car from the left and the car from the right.\n"
+            "2. If there is a pedestrian, stop.\n"
+            "3. If there is no car from the left and no car from the right and no pedestrian, go straight.",
+            "1. If there is a pedestrian, stop.\n"
+            "2. Check the car from the left and the car from the right.\n"
+            "3. If there is no car from the left and no car from the right, go straight.",
+            "1. Check the car from the left.\n"
+            "2. If there is a pedestrian, stop.\n"
+            "3. If there is no car from the left and no car from the right and no pedestrian, go straight.",
+        ),
+        "flawed": (
+            "1. Go straight up the on-ramp.",
+            "1. Accelerate and go straight.",
+            "1. If there is no car from the left, go straight.",
+            "1. Watch the traffic on the highway.\n"
+            "2. Go straight.",
+        ),
+    },
     "merge_after_median": {
         "compliant": (
             "1. Observe the car from the left and the car from the right.\n"

@@ -77,6 +77,14 @@ TASKS: tuple = (
         scenario="pedestrian_crossing",
         split="train",
     ),
+    # Appended after the original eight training tasks so seed-sensitive
+    # slices like ``training_tasks()[:4]`` keep their historical meaning.
+    DrivingTask(
+        name="merge_onto_highway",
+        prompt="merge onto the highway",
+        scenario="highway_merge",
+        split="train",
+    ),
     DrivingTask(
         name="turn_left_unprotected",
         prompt="turn left at the intersection without a green arrow",
@@ -99,6 +107,12 @@ TASKS: tuple = (
         name="merge_after_median",
         prompt="proceed through the wide median when the road is clear",
         scenario="wide_median_intersection",
+        split="validation",
+    ),
+    DrivingTask(
+        name="highway_on_ramp",
+        prompt="enter the highway from the on-ramp",
+        scenario="highway_merge",
         split="validation",
     ),
 )

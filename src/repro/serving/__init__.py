@@ -15,19 +15,47 @@ This package turns it into a standalone service with four layers:
 ``cache``
     A content-addressed LRU result cache keyed by a SHA-256 digest of
     ``(scenario, canonical response, feedback fingerprint)``, with hit/miss
-    stats and optional JSON persistence
-    (:class:`~repro.serving.cache.FeedbackCache`).
+    stats, atomic JSON persistence (:class:`~repro.serving.cache.
+    FeedbackCache`), and a managed cross-run cache directory
+    (:class:`~repro.serving.cache.CacheDirectory`, below).
+``backends``
+    The three execution strategies for scoring cache misses
+    (:mod:`repro.serving.backends`): ``"serial"`` (inline reference loop),
+    ``"thread"`` (GIL-bound pool; cheap, always safe) and ``"process"``
+    (a ``ProcessPoolExecutor`` whose workers rebuild the
+    verifier/world-model/evaluator stack once per process from a picklable
+    :class:`~repro.serving.backends.WorkerPayload` — true multi-core
+    parallelism for cold batches of pure-Python verification).  All three
+    return bitwise-identical scores in submission order; select one with
+    ``ServingConfig(backend=...)``.
 ``scheduler``
     :class:`~repro.serving.scheduler.FeedbackService` — accepts batches of
     :class:`~repro.serving.scheduler.FeedbackJob`, partitions cache hits from
-    misses, fans misses out to a configurable ``concurrent.futures`` backend,
-    and scatters scores back in deterministic submission order.  World models,
-    formal verifiers and empirical evaluators are constructed once per
-    scenario, not once per response.
+    misses, fans misses out to the configured backend, and scatters scores
+    back in deterministic submission order.  World models, formal verifiers
+    and empirical evaluators are constructed once per scenario, not once per
+    response.
 ``metrics``
     Throughput / latency / hit-rate telemetry
     (:class:`~repro.serving.metrics.ServingMetrics`), surfaced on
     :class:`~repro.core.pipeline.PipelineResult` as ``serving_metrics``.
+
+Cross-run shared cache layout
+-----------------------------
+``ServingConfig(shared_cache_dir="…")`` names a directory the pipeline, the
+benchmarks and the ``repro-serve`` CLI can all share.  Each distinct feedback
+fingerprint (mode + parameters + spec set + seed + package version) owns one
+shard file::
+
+    <shared_cache_dir>/
+        <sha256(fingerprint)[:16]>.json     # {"schema", "fingerprint", "entries"}
+        <…>.json.tmp.<pid>                  # in-flight atomic writes; never read
+        <…>.json.lock                       # advisory flush locks; never read
+
+Services warm-start from their own shard at construction and merge results
+back on ``flush()``; shards are written with tmp-file + ``os.replace``, so a
+crash can never leave a partial shard, and corrupt or foreign shards load as
+empty rather than serving stale scores.
 
 Scores produced with serving enabled are bitwise-identical to the serial
 reference path (``ServingConfig(enabled=False)``): the cache key covers every
@@ -35,19 +63,31 @@ input that can influence a score, and canonicalisation only discards
 whitespace the step parser provably ignores.
 """
 
-from repro.serving.cache import CacheStats, FeedbackCache, cache_key, feedback_fingerprint, model_digest
-from repro.serving.config import ServingConfig
+from repro.serving.backends import ResponseScorer, WorkerPayload
+from repro.serving.cache import (
+    CacheDirectory,
+    CacheStats,
+    FeedbackCache,
+    cache_key,
+    feedback_fingerprint,
+    model_digest,
+)
+from repro.serving.config import BACKENDS, ServingConfig
 from repro.serving.dedup import canonicalize_response, dedupe_responses, first_occurrence
 from repro.serving.metrics import ServingMetrics
 from repro.serving.scheduler import FeedbackJob, FeedbackService
 
 __all__ = [
+    "BACKENDS",
+    "CacheDirectory",
     "CacheStats",
     "FeedbackCache",
     "cache_key",
     "feedback_fingerprint",
     "model_digest",
+    "ResponseScorer",
     "ServingConfig",
+    "WorkerPayload",
     "canonicalize_response",
     "dedupe_responses",
     "first_occurrence",

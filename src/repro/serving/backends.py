@@ -1,0 +1,256 @@
+"""Worker-pool backends for scoring cache misses.
+
+The scheduler scores a miss by building a GLM2FSA controller from the response
+and model-checking it (or rolling it out in the simulator) — pure-Python CPU
+work.  Three backends execute that work:
+
+``"serial"``
+    An inline loop.  The bitwise reference every other backend must match.
+``"thread"``
+    A :class:`~concurrent.futures.ThreadPoolExecutor`.  GIL-bound for this
+    workload, so its wins come from overlapping the little I/O there is; kept
+    because it is cheap to spin up and always safe.
+``"process"``
+    A :class:`~concurrent.futures.ProcessPoolExecutor`.  Each worker process
+    runs an initializer that rebuilds the verifier/world-model/evaluator stack
+    exactly once from a picklable :class:`WorkerPayload`; misses are dispatched
+    in contiguous chunks and results concatenated in submission order, so the
+    scatter is deterministic regardless of which worker finishes first.  Small
+    miss batches fall back to the serial loop — forking processes for a couple
+    of jobs costs more than it saves.
+
+:class:`ResponseScorer` is the single implementation of "score one response
+from scratch" shared by all three: the scheduler owns one for the serial and
+thread paths, and every worker process owns one built from the payload.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.errors import AlignmentError
+from repro.feedback.empirical import EmpiricalEvaluator
+from repro.feedback.formal import FormalVerifier
+from repro.glm2fsa.builder import build_controller_from_text
+
+#: Miss batches smaller than this are scored inline by the process backend:
+#: the fork/initializer cost would dominate the verification work saved.
+PROCESS_MIN_BATCH = 4
+
+
+class ResponseScorer:
+    """Builds the verification stack once and scores ``(task, scenario, response)`` jobs.
+
+    Parameters mirror the fields of :class:`~repro.core.config.FeedbackConfig`
+    (passed individually so this module never imports the pipeline layer) plus
+    the empirical seed.  World models and evaluators are built lazily, once
+    per scenario, and reused for every subsequent job.
+    """
+
+    def __init__(
+        self,
+        specifications: Mapping,
+        *,
+        wait_action: str | None = "stop",
+        restart_on_termination: bool = True,
+        use_empirical: bool = False,
+        empirical_traces: int = 10,
+        empirical_threshold: float = 0.9,
+        seed: int = 0,
+        model_builder=None,
+        verifier: FormalVerifier | None = None,
+    ):
+        if model_builder is None:
+            from repro.driving.scenarios.universal import scenario_model
+
+            model_builder = scenario_model
+        self.specifications = dict(specifications)
+        self.wait_action = wait_action
+        self.restart_on_termination = restart_on_termination
+        self.use_empirical = use_empirical
+        self.empirical_traces = empirical_traces
+        self.empirical_threshold = empirical_threshold
+        self.seed = seed
+        self.model_builder = model_builder
+        self.verifier = verifier or FormalVerifier(
+            self.specifications,
+            wait_action=wait_action,
+            restart_on_termination=restart_on_termination,
+        )
+        self._models: dict = {}
+        self._evaluators: dict = {}
+
+    @classmethod
+    def from_feedback(cls, specifications, feedback, *, seed=0, model_builder=None, verifier=None):
+        """Construct from a :class:`~repro.core.config.FeedbackConfig`-like object."""
+        return cls(
+            specifications,
+            wait_action=feedback.wait_action,
+            restart_on_termination=feedback.restart_on_termination,
+            use_empirical=feedback.use_empirical,
+            empirical_traces=feedback.empirical_traces,
+            empirical_threshold=feedback.empirical_threshold,
+            seed=seed,
+            model_builder=model_builder,
+            verifier=verifier,
+        )
+
+    # ------------------------------------------------------------------ #
+    def scenario_model(self, scenario: str):
+        """The (cached) world model responses in ``scenario`` are checked against."""
+        if scenario not in self._models:
+            self._models[scenario] = self.model_builder(scenario)
+        return self._models[scenario]
+
+    def evaluator(self, scenario: str) -> EmpiricalEvaluator:
+        """The (cached) empirical evaluator for ``scenario``."""
+        if scenario not in self._evaluators:
+            from repro.sim.executor import SimulationGrounding  # deferred: optional path
+
+            self._evaluators[scenario] = EmpiricalEvaluator(
+                self.specifications,
+                SimulationGrounding(scenario),
+                threshold=self.empirical_threshold,
+            )
+        return self._evaluators[scenario]
+
+    def prepare(self, scenario: str) -> None:
+        """Build ``scenario``'s model/evaluator eagerly, before any fan-out."""
+        if self.use_empirical:
+            self.evaluator(scenario)
+        else:
+            self.scenario_model(scenario)
+
+    # ------------------------------------------------------------------ #
+    def score(self, task: str, scenario: str, response: str) -> int:
+        """Verify one response from scratch (the serial reference computation)."""
+        if self.use_empirical:
+            try:
+                controller = build_controller_from_text(
+                    response, task=task, wait_action=self.wait_action
+                )
+            except AlignmentError:
+                return 0
+            feedback = self.evaluator(scenario).evaluate_controller(
+                controller, num_traces=self.empirical_traces, seed=self.seed
+            )
+            return feedback.num_satisfied
+        feedback = self.verifier.verify_response(self.scenario_model(scenario), response, task=task)
+        return feedback.num_satisfied
+
+
+@dataclass(frozen=True)
+class WorkerPayload:
+    """Everything a worker process needs to rebuild a :class:`ResponseScorer`.
+
+    Every field pickles: specifications are plain formula dataclasses, the
+    rest are primitives.  Custom ``model_builder`` callables are deliberately
+    *not* part of the payload — a service configured with one cannot use the
+    process backend (the scheduler falls back to its in-process pool), since
+    shipping arbitrary closures to workers is neither picklable in general
+    nor reproducible.
+    """
+
+    specifications: tuple  # ((name, formula), ...) in a stable order
+    wait_action: str | None
+    restart_on_termination: bool
+    use_empirical: bool
+    empirical_traces: int
+    empirical_threshold: float
+    seed: int
+
+    @classmethod
+    def from_feedback(cls, specifications: Mapping, feedback, *, seed: int = 0) -> "WorkerPayload":
+        return cls(
+            specifications=tuple(sorted(specifications.items())),
+            wait_action=feedback.wait_action,
+            restart_on_termination=feedback.restart_on_termination,
+            use_empirical=feedback.use_empirical,
+            empirical_traces=feedback.empirical_traces,
+            empirical_threshold=feedback.empirical_threshold,
+            seed=seed,
+        )
+
+    def build_scorer(self) -> ResponseScorer:
+        return ResponseScorer(
+            dict(self.specifications),
+            wait_action=self.wait_action,
+            restart_on_termination=self.restart_on_termination,
+            use_empirical=self.use_empirical,
+            empirical_traces=self.empirical_traces,
+            empirical_threshold=self.empirical_threshold,
+            seed=self.seed,
+        )
+
+
+#: Per-process scorer, created by :func:`_initialize_worker` and reused for
+#: every chunk the worker receives over its lifetime.
+_WORKER_SCORER: ResponseScorer | None = None
+
+
+def _initialize_worker(payload: WorkerPayload) -> None:
+    global _WORKER_SCORER
+    _WORKER_SCORER = payload.build_scorer()
+
+
+def _score_chunk(chunk: Sequence[tuple]) -> list:
+    """Score one chunk of ``(task, scenario, response)`` triples in order."""
+    assert _WORKER_SCORER is not None, "worker used before its initializer ran"
+    return [_WORKER_SCORER.score(task, scenario, response) for task, scenario, response in chunk]
+
+
+# ---------------------------------------------------------------------- #
+# Dispatch
+# ---------------------------------------------------------------------- #
+def run_serial(scorer: ResponseScorer, jobs: Sequence) -> list:
+    """Score ``jobs`` inline, in order."""
+    return [scorer.score(job.task, job.scenario, job.response) for job in jobs]
+
+
+def run_thread(scorer: ResponseScorer, jobs: Sequence, *, max_workers: int) -> list:
+    """Score ``jobs`` on a thread pool; results in submission order."""
+    if len(jobs) <= 1:
+        return run_serial(scorer, jobs)
+    with ThreadPoolExecutor(max_workers=max_workers) as pool:
+        return list(pool.map(lambda job: scorer.score(job.task, job.scenario, job.response), jobs))
+
+
+def run_process(
+    payload: WorkerPayload,
+    jobs: Sequence,
+    *,
+    max_workers: int,
+    fallback: ResponseScorer,
+    min_batch: int = PROCESS_MIN_BATCH,
+) -> list:
+    """Score ``jobs`` on a process pool; results in submission order.
+
+    Jobs are split into at most ``4 × max_workers`` contiguous chunks (enough
+    slack for work-stealing across uneven verification times without paying
+    per-job IPC); ``pool.map`` preserves chunk order, so concatenating the
+    per-chunk score lists reproduces submission order exactly.  Batches
+    smaller than ``min_batch`` are scored inline with ``fallback`` — identical
+    scores, none of the fork cost.
+    """
+    jobs = list(jobs)
+    if len(jobs) < max(min_batch, 2):
+        return run_serial(fallback, jobs)
+    triples = [(job.task, job.scenario, job.response) for job in jobs]
+    chunk_size = max(1, -(-len(triples) // (max_workers * 4)))
+    chunks = [triples[i : i + chunk_size] for i in range(0, len(triples), chunk_size)]
+    try:
+        with ProcessPoolExecutor(
+            max_workers=max_workers, initializer=_initialize_worker, initargs=(payload,)
+        ) as pool:
+            scores: list = []
+            for chunk_scores in pool.map(_score_chunk, chunks):
+                scores.extend(chunk_scores)
+            return scores
+    except (OSError, BrokenExecutor):
+        # Environments without working multiprocessing primitives (restricted
+        # sandboxes, where pool construction raises OSError or the workers die
+        # and the pool breaks) still get correct scores, just without the
+        # parallelism.
+        return run_serial(fallback, jobs)

@@ -14,11 +14,12 @@ from __future__ import annotations
 import hashlib
 import json
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Mapping
 
-from repro.utils.serialization import dump_json, load_json
+from repro.utils.serialization import dump_json_atomic, load_json
 
 #: Bump when the key layout changes so stale persisted caches are ignored.
 CACHE_SCHEMA_VERSION = 1
@@ -150,15 +151,38 @@ class FeedbackCache:
     def clear(self) -> None:
         self._entries.clear()
 
+    def entries(self) -> list:
+        """``[key, score]`` pairs in recency order (least recent first)."""
+        return [[key, score] for key, score in self._entries.items()]
+
+    def merge(self, entries) -> int:
+        """Fold ``[key, score]`` pairs in without touching hit/miss counters.
+
+        Existing keys keep their current score (the in-memory entry is at
+        least as fresh as a persisted one).  Returns the number of new keys
+        adopted — the warm-start size.
+        """
+        adopted = 0
+        for key, score in entries:
+            if key not in self._entries:
+                self.put(key, score)
+                adopted += 1
+        return adopted
+
     # ------------------------------------------------------------------ #
     def save(self, path: str | Path) -> Path:
-        """Persist the entries (recency order preserved) as JSON."""
+        """Persist the entries (recency order preserved) as JSON.
+
+        Written atomically (tmp file + ``os.replace``): a crash or full disk
+        mid-write must corrupt nothing — the previous persisted cache, if any,
+        stays loadable.
+        """
         payload = {
             "schema": CACHE_SCHEMA_VERSION,
             "max_entries": self.max_entries,
-            "entries": [[key, score] for key, score in self._entries.items()],
+            "entries": self.entries(),
         }
-        return dump_json(payload, path)
+        return dump_json_atomic(payload, path)
 
     @classmethod
     def load(cls, path: str | Path, *, max_entries: int | None = None) -> "FeedbackCache":
@@ -169,3 +193,101 @@ class FeedbackCache:
             for key, score in payload.get("entries", []):
                 cache.put(key, score)
         return cache
+
+
+class CacheDirectory:
+    """A directory of per-fingerprint cache shards shared across runs.
+
+    The pipeline, the benchmarks and the ``repro-serve`` CLI can all point at
+    the same directory (``ServingConfig.shared_cache_dir``); each distinct
+    :func:`feedback_fingerprint` owns one JSON shard named by a prefix of its
+    SHA-256 digest, so runs with different feedback configurations never read
+    each other's scores.  Shards are written atomically (tmp file +
+    ``os.replace``) and merged with whatever a concurrent run already stored,
+    so the directory only ever accumulates valid, complete shards:
+
+    * a missing, corrupt or stale-schema shard loads as an *empty* cache —
+      never a partial one;
+    * in-flight ``*.tmp.<pid>`` files are never read;
+    * a shard whose recorded fingerprint does not match the requester's
+      (digest-prefix collision, hand-edited file) is ignored.
+    """
+
+    #: Hex digits of the fingerprint digest used as the shard file name.
+    DIGEST_PREFIX = 16
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def shard_path(self, fingerprint: str) -> Path:
+        digest = hashlib.sha256(fingerprint.encode("utf-8")).hexdigest()
+        return self.root / f"{digest[: self.DIGEST_PREFIX]}.json"
+
+    # ------------------------------------------------------------------ #
+    def load(self, fingerprint: str, *, max_entries: int = 4096) -> FeedbackCache:
+        """The shard for ``fingerprint`` as a cache; empty when unusable."""
+        cache = FeedbackCache(max_entries=max_entries)
+        cache.merge(self.shard_entries(fingerprint))
+        return cache
+
+    def store(self, fingerprint: str, cache: FeedbackCache) -> Path:
+        """Merge ``cache`` into the shard for ``fingerprint`` and write it atomically.
+
+        Entries already in the shard (e.g. from a concurrent run with the same
+        fingerprint) are kept; ``cache``'s entries win on conflict, though a
+        conflict can only disagree if the fingerprint failed to cover some
+        scoring input — the invariant the fingerprint exists to maintain.
+        The read-merge-write is serialised against concurrent ``store`` calls
+        with an advisory lock file (POSIX ``flock``), so two runs flushing the
+        same fingerprint both land their entries; without ``fcntl`` (non-POSIX)
+        the merge is best-effort and a simultaneous flush may drop the other
+        run's new entries — never corrupting the shard, only re-verifying.
+        """
+        shard = self.shard_path(fingerprint)
+        with self._store_lock(shard):
+            merged = {key: score for key, score in self.shard_entries(fingerprint)}
+            merged.update(dict(cache.entries()))
+            payload = {
+                "schema": CACHE_SCHEMA_VERSION,
+                "fingerprint": fingerprint,
+                "entries": [[key, score] for key, score in merged.items()],
+            }
+            return dump_json_atomic(payload, shard)
+
+    @contextmanager
+    def _store_lock(self, shard: Path):
+        """Advisory cross-process lock for one shard's read-merge-write."""
+        try:
+            import fcntl
+        except ImportError:  # non-POSIX: fall back to unserialised best-effort
+            yield
+            return
+        lock_path = shard.with_name(f"{shard.name}.lock")
+        with lock_path.open("a") as lock_file:
+            fcntl.flock(lock_file, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(lock_file, fcntl.LOCK_UN)
+
+    # ------------------------------------------------------------------ #
+    def shard_entries(self, fingerprint: str) -> list:
+        """Raw ``[key, score]`` pairs of the shard for ``fingerprint``.
+
+        Empty when the shard is missing, corrupt, stale-schema, or records a
+        different fingerprint — never a partial result.  Unlike :meth:`load`,
+        no LRU bound is applied, so callers merging into an arbitrarily sized
+        cache see every entry.
+        """
+        path = self.shard_path(fingerprint)
+        try:
+            payload = load_json(path)
+            if (
+                payload.get("schema") == CACHE_SCHEMA_VERSION
+                and payload.get("fingerprint") == fingerprint
+            ):
+                return [entry for entry in payload.get("entries", []) if len(entry) == 2]
+        except (OSError, ValueError, KeyError, TypeError, AttributeError):
+            pass
+        return []

@@ -10,9 +10,13 @@ covers tasks outside the built-in catalogue::
 
     {"task": "merge_onto_highway", "scenario": "highway_merge", "response": "..."}
 
-Output: the same objects with a ``score`` field, one per line, followed by a
-telemetry summary on stderr.  A persisted cache file makes repeated
-invocations warm-start.
+Output: the *original* objects — every extra field (ids, provenance, …) is
+preserved verbatim — with the resolved ``scenario`` and an integer ``score``
+merged in, one per line, followed by a telemetry summary on stderr.  The
+input file is validated in full before any verification machinery is built,
+so a typo'd path or malformed line is reported immediately; when ``--output``
+is used the file is written through a tmp file and moved into place, so a
+failure mid-run never leaves a truncated output behind.
 """
 
 from __future__ import annotations
@@ -22,26 +26,61 @@ import json
 import sys
 from pathlib import Path
 
+EPILOG = """\
+backends:
+  serial    score cache misses inline — the bitwise reference path
+  thread    ThreadPoolExecutor; cheap to start, but verification is pure
+            Python, so the GIL caps it near single-core speed
+  process   ProcessPoolExecutor; each worker builds the verifier/world-model
+            stack once and scores chunks of misses in parallel — use this for
+            large cold batches on multi-core machines (small batches fall
+            back to serial automatically)
+
+caching:
+  --cache-file FILE   private single-file cache: loaded at startup, written
+                      (atomically) at exit
+  --cache-dir DIR     shared cache directory: one JSON shard per feedback
+                      fingerprint (<sha256-prefix>.json), written atomically
+                      and merged across runs — point the pipeline, the
+                      benchmarks and repeated repro-serve invocations at the
+                      same directory and they warm-start each other.  A
+                      changed mode/spec-set/seed changes the fingerprint and
+                      therefore the shard, so stale scores are never served.
+"""
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-serve",
         description="Score step-by-step driving responses through the batched feedback service.",
+        epilog=EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument("jsonl", type=Path, help="input JSONL file of {task, response} objects")
     parser.add_argument("-o", "--output", type=Path, default=None, help="output JSONL path (default: stdout)")
     parser.add_argument("--mode", choices=("formal", "empirical"), default="formal", help="feedback channel")
     parser.add_argument("--core-specs", action="store_true", help="score against Φ1-Φ5 only instead of all 15 rules")
-    parser.add_argument("--backend", choices=("serial", "thread"), default="thread", help="worker-pool backend")
+    parser.add_argument(
+        "--backend", choices=("serial", "thread", "process"), default="thread", help="worker-pool backend"
+    )
     parser.add_argument("--max-workers", type=int, default=4, help="worker-pool width")
     parser.add_argument("--cache-size", type=int, default=4096, help="LRU bound on the result cache")
     parser.add_argument("--cache-file", type=Path, default=None, help="persist/warm-start the cache at this path")
+    parser.add_argument(
+        "--cache-dir", type=Path, default=None,
+        help="shared cross-run cache directory of per-fingerprint shards",
+    )
     parser.add_argument("--seed", type=int, default=0, help="seed for empirical trace collection")
     return parser
 
 
 def load_jobs(path: Path) -> list:
-    """Parse the input JSONL into ``(task name, scenario, response)`` records."""
+    """Parse the input JSONL into ``(record, scenario)`` pairs.
+
+    The full input record is kept so the output can preserve caller metadata;
+    ``scenario`` is the resolved verification scenario (from the record or the
+    task catalogue).
+    """
     from repro.driving.scenarios.universal import SCENARIO_BUILDERS
     from repro.driving.tasks import task_by_name
 
@@ -58,7 +97,16 @@ def load_jobs(path: Path) -> list:
             raise ValueError(f"{path}:{line_number}: each line must be a JSON object, got {type(record).__name__}")
         if "task" not in record or "response" not in record:
             raise ValueError(f"{path}:{line_number}: each record needs 'task' and 'response' fields")
+        for field in ("task", "response"):
+            if not isinstance(record[field], str):
+                raise ValueError(
+                    f"{path}:{line_number}: {field!r} must be a string, got {type(record[field]).__name__}"
+                )
         scenario = record.get("scenario")
+        if scenario is not None and not isinstance(scenario, str):
+            raise ValueError(
+                f"{path}:{line_number}: 'scenario' must be a string, got {type(scenario).__name__}"
+            )
         if scenario is None:
             try:
                 scenario = task_by_name(record["task"]).scenario
@@ -70,12 +118,31 @@ def load_jobs(path: Path) -> list:
             raise ValueError(
                 f"{path}:{line_number}: unknown scenario {scenario!r}; known: {sorted(SCENARIO_BUILDERS)}"
             )
-        jobs.append((record["task"], scenario, record["response"]))
+        jobs.append((record, scenario))
     return jobs
+
+
+def write_records(records, output: Path | None) -> None:
+    """Write scored records to ``output`` (atomically) or stdout."""
+    lines = "".join(json.dumps(record) + "\n" for record in records)
+    if output is None:
+        sys.stdout.write(lines)
+        return
+    from repro.utils.serialization import write_text_atomic
+
+    write_text_atomic(output, lines)
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+
+    # Validate and load the whole input before building any verification
+    # machinery: a bad path or malformed line must fail fast and cheap.
+    try:
+        jobs = load_jobs(args.jsonl)
+    except (OSError, ValueError) as exc:
+        print(f"repro-serve: {exc}", file=sys.stderr)
+        return 2
 
     from repro.core.config import FeedbackConfig
     from repro.driving.specifications import all_specifications, core_specifications
@@ -90,35 +157,36 @@ def main(argv=None) -> int:
             max_workers=args.max_workers,
             cache_size=args.cache_size,
             persist_path=str(args.cache_file) if args.cache_file else None,
+            shared_cache_dir=str(args.cache_dir) if args.cache_dir else None,
         ),
         seed=args.seed,
     )
 
-    try:
-        jobs = load_jobs(args.jsonl)
-    except (OSError, ValueError) as exc:
-        print(f"repro-serve: {exc}", file=sys.stderr)
-        return 2
-
     scores = service.score_batch(
-        [FeedbackJob(task=task, scenario=scenario, response=response) for task, scenario, response in jobs]
+        [
+            FeedbackJob(task=record["task"], scenario=scenario, response=record["response"])
+            for record, scenario in jobs
+        ]
     )
     service.flush()
 
-    out = args.output.open("w") if args.output else sys.stdout
-    try:
-        for (task, scenario, response), score in zip(jobs, scores):
-            out.write(json.dumps({"task": task, "scenario": scenario, "response": response, "score": score}) + "\n")
-    finally:
-        if args.output:
-            out.close()
+    write_records(
+        ({**record, "scenario": scenario, "score": score} for (record, scenario), score in zip(jobs, scores)),
+        args.output,
+    )
 
     telemetry = service.metrics.snapshot()
+    warm = (
+        f", warm-started {telemetry['warm_start_entries']} entries"
+        if telemetry["warm_start_entries"]
+        else ""
+    )
     print(
         f"scored {telemetry['jobs']} responses ({telemetry['unique_jobs']} unique) "
         f"in {telemetry['total_seconds']:.2f}s — "
         f"{telemetry['throughput']:.1f} responses/s, "
-        f"hit rate {telemetry['hit_rate']:.0%}, dedup rate {telemetry['dedup_rate']:.0%}",
+        f"hit rate {telemetry['hit_rate']:.0%}, dedup rate {telemetry['dedup_rate']:.0%}"
+        f"{warm}",
         file=sys.stderr,
     )
     return 0

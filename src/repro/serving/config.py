@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 #: Supported worker-pool backends for scoring cache misses.
-BACKENDS: tuple = ("serial", "thread")
+BACKENDS: tuple = ("serial", "thread", "process")
 
 
 @dataclass(frozen=True)
@@ -27,14 +27,23 @@ class ServingConfig:
         LRU bound on the result cache (entries are a hash key plus an int).
     backend:
         ``"thread"`` fans cache misses out to a ``ThreadPoolExecutor``;
-        ``"serial"`` scores them inline.  Both produce identical, input-order
-        results.
+        ``"process"`` to a ``ProcessPoolExecutor`` whose workers rebuild the
+        verification stack once per process (true multi-core parallelism for
+        the GIL-bound verification work); ``"serial"`` scores them inline.
+        All three produce identical, input-order results.
     max_workers:
-        Pool width for the ``"thread"`` backend.
+        Pool width for the ``"thread"`` and ``"process"`` backends.
     persist_path:
         Optional JSON file the cache is loaded from at startup and flushed to
         by :meth:`~repro.serving.scheduler.FeedbackService.flush`, warming
         later runs.
+    shared_cache_dir:
+        Optional directory of per-fingerprint cache shards
+        (:class:`~repro.serving.cache.CacheDirectory`) shared between the
+        pipeline, the benchmarks and the ``repro-serve`` CLI.  At startup the
+        service warm-starts from the shard matching its feedback fingerprint;
+        ``flush()`` merges its results back.  Composes with ``persist_path``
+        (a private single-file cache) — either, both or neither may be set.
     """
 
     enabled: bool = True
@@ -42,6 +51,7 @@ class ServingConfig:
     backend: str = "thread"
     max_workers: int = 4
     persist_path: str | None = None
+    shared_cache_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:

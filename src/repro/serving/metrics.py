@@ -20,6 +20,7 @@ class ServingMetrics:
     unique_jobs: int = 0           # distinct canonical jobs per batch, summed
     cache_hits: int = 0            # unique jobs answered from the cache
     cache_misses: int = 0          # unique jobs that required verification
+    warm_start_entries: int = 0    # entries adopted from a shared cache directory
     total_seconds: float = 0.0
 
     # ------------------------------------------------------------------ #
@@ -63,6 +64,7 @@ class ServingMetrics:
             "unique_jobs": self.unique_jobs,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "warm_start_entries": self.warm_start_entries,
             "total_seconds": self.total_seconds,
             "hit_rate": self.hit_rate,
             "dedup_rate": self.dedup_rate,
@@ -72,5 +74,5 @@ class ServingMetrics:
 
     def reset(self) -> None:
         self.batches = self.jobs = self.unique_jobs = 0
-        self.cache_hits = self.cache_misses = 0
+        self.cache_hits = self.cache_misses = self.warm_start_entries = 0
         self.total_seconds = 0.0

@@ -3,24 +3,37 @@
 :class:`FeedbackService` is the single entry point through which the pipeline
 (and anything else) scores language-model responses.  A batch of ``(task,
 response)`` jobs is canonicalised and deduplicated, cache hits are answered
-immediately, and only the remaining unique misses are verified — serially or
-on a thread pool — before results scatter back to the original submission
-order.  World models, formal verifiers and empirical evaluators are built once
-per scenario and reused across every batch.
+immediately, and only the remaining unique misses are verified — serially, on
+a thread pool, or on a process pool (see :mod:`repro.serving.backends`) —
+before results scatter back to the original submission order.  World models,
+formal verifiers and empirical evaluators are built once per scenario and
+reused across every batch (and, for the process backend, once per worker
+process).  A ``persist_path`` file and/or a ``shared_cache_dir`` of
+per-fingerprint shards warm-start the cache across runs.
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Iterable, Mapping, Sequence
 
-from repro.errors import AlignmentError
-from repro.feedback.empirical import EmpiricalEvaluator
 from repro.feedback.formal import FormalVerifier
-from repro.glm2fsa.builder import build_controller_from_text
-from repro.serving.cache import FeedbackCache, cache_key, feedback_fingerprint, model_digest
+from repro.serving.backends import (
+    ResponseScorer,
+    WorkerPayload,
+    run_process,
+    run_serial,
+    run_thread,
+)
+from repro.serving.cache import (
+    CacheDirectory,
+    FeedbackCache,
+    cache_key,
+    feedback_fingerprint,
+    model_digest,
+)
 from repro.serving.config import ServingConfig
 from repro.serving.dedup import canonicalize_response, first_occurrence
 from repro.serving.metrics import ServingMetrics
@@ -53,7 +66,9 @@ class FeedbackService:
         ``config.seed`` so cached and uncached scores agree).
     model_builder:
         ``scenario name -> TransitionSystem``; defaults to the driving
-        scenario catalogue.
+        scenario catalogue.  A custom builder cannot be shipped to worker
+        processes, so it silently downgrades the ``"process"`` backend to the
+        thread pool.
     verifier:
         Optional pre-built :class:`FormalVerifier` to share (e.g. with a
         pipeline that also exposes one); constructed from ``feedback``
@@ -74,61 +89,88 @@ class FeedbackService:
             from repro.core.config import FeedbackConfig  # deferred: core sits above serving
 
             feedback = FeedbackConfig()
-        if model_builder is None:
-            from repro.driving.scenarios.universal import scenario_model
-
-            model_builder = scenario_model
         self.specifications = dict(specifications)
         self.feedback = feedback
         self.config = config or ServingConfig()
         self.seed = seed
-        self.model_builder = model_builder
-        self.verifier = verifier or FormalVerifier(
+        self._scorer = ResponseScorer.from_feedback(
             self.specifications,
-            wait_action=feedback.wait_action,
-            restart_on_termination=feedback.restart_on_termination,
+            feedback,
+            seed=seed,
+            model_builder=model_builder,
+            verifier=verifier,
+        )
+        self.model_builder = self._scorer.model_builder
+        self.verifier = self._scorer.verifier
+        # Worker processes rebuild the scorer from this payload.  Only the
+        # default (catalogue) model builder is reproducible in a fresh
+        # process, and a supplied verifier must agree with what the payload
+        # would rebuild (the pipeline shares one constructed from the same
+        # feedback config — fine; a genuinely custom verifier is not).
+        verifier_matches_payload = verifier is None or (
+            dict(verifier.specifications) == self.specifications
+            and verifier.wait_action == feedback.wait_action
+            and verifier.restart_on_termination == feedback.restart_on_termination
+        )
+        self._payload = (
+            WorkerPayload.from_feedback(self.specifications, feedback, seed=seed)
+            if model_builder is None and verifier_matches_payload
+            else None
         )
         self.metrics = ServingMetrics()
-        self.cache = self._initial_cache()
         self._fingerprint = feedback_fingerprint(feedback, self.specifications, seed=seed)
-        self._models: dict = {}
-        self._evaluators: dict = {}
+        if not verifier_matches_payload:
+            # A divergent verifier changes formal scores, so it must also
+            # change the cache identity — otherwise this service would share
+            # persisted entries with a default-config run.
+            import json as _json
+
+            self._fingerprint += _json.dumps(
+                {
+                    "verifier": {
+                        "wait_action": self.verifier.wait_action,
+                        "restart_on_termination": self.verifier.restart_on_termination,
+                        "specifications": sorted(
+                            f"{name}={formula}" for name, formula in self.verifier.specifications.items()
+                        ),
+                    }
+                },
+                sort_keys=True,
+            )
+        self.cache = self._initial_cache()
         self._digests: dict = {}
 
     def _initial_cache(self) -> FeedbackCache:
+        cache = None
         path = self.config.persist_path
-        if path is not None:
-            from pathlib import Path
-
-            if Path(path).exists():
-                try:
-                    return FeedbackCache.load(path, max_entries=self.config.cache_size)
-                except (OSError, ValueError, KeyError, TypeError):
-                    # Warm-starting is best-effort: an unreadable or corrupt
-                    # persisted cache must not take the service down.
-                    pass
-        return FeedbackCache(max_entries=self.config.cache_size)
+        if path is not None and Path(path).exists():
+            try:
+                cache = FeedbackCache.load(path, max_entries=self.config.cache_size)
+            except (OSError, ValueError, KeyError, TypeError):
+                # Warm-starting is best-effort: an unreadable or corrupt
+                # persisted cache must not take the service down.
+                pass
+        if cache is None:
+            cache = FeedbackCache(max_entries=self.config.cache_size)
+        if self.config.shared_cache_dir is not None:
+            try:
+                directory = CacheDirectory(self.config.shared_cache_dir)
+                adopted = cache.merge(directory.shard_entries(self._fingerprint))
+                self.metrics.warm_start_entries += adopted
+            except OSError:
+                pass
+        return cache
 
     # ------------------------------------------------------------------ #
     # Shared per-scenario machinery
     # ------------------------------------------------------------------ #
     def scenario_model(self, scenario: str):
         """The (cached) world model responses in ``scenario`` are checked against."""
-        if scenario not in self._models:
-            self._models[scenario] = self.model_builder(scenario)
-        return self._models[scenario]
+        return self._scorer.scenario_model(scenario)
 
-    def evaluator(self, scenario: str) -> EmpiricalEvaluator:
+    def evaluator(self, scenario: str):
         """The (cached) empirical evaluator for ``scenario``."""
-        if scenario not in self._evaluators:
-            from repro.sim.executor import SimulationGrounding  # deferred: optional path
-
-            self._evaluators[scenario] = EmpiricalEvaluator(
-                self.specifications,
-                SimulationGrounding(scenario),
-                threshold=self.feedback.empirical_threshold,
-            )
-        return self._evaluators[scenario]
+        return self._scorer.evaluator(scenario)
 
     def scenario_digest(self, scenario: str) -> str:
         """The (cached) structural digest of a scenario's world model.
@@ -149,31 +191,30 @@ class FeedbackService:
     def _prepare_scenarios(self, jobs: Sequence[FeedbackJob]) -> None:
         """Build each scenario's model/evaluator once, before any thread fan-out."""
         for scenario in {job.scenario for job in jobs}:
-            if self.feedback.use_empirical:
-                self.evaluator(scenario)
-            else:
-                self.scenario_model(scenario)
+            self._scorer.prepare(scenario)
 
     # ------------------------------------------------------------------ #
     # Scoring
     # ------------------------------------------------------------------ #
     def _score_uncached(self, job: FeedbackJob) -> int:
         """Verify one job from scratch (the serial reference computation)."""
-        if self.feedback.use_empirical:
-            try:
-                controller = build_controller_from_text(
-                    job.response, task=job.task, wait_action=self.feedback.wait_action
-                )
-            except AlignmentError:
-                return 0
-            feedback = self.evaluator(job.scenario).evaluate_controller(
-                controller, num_traces=self.feedback.empirical_traces, seed=self.seed
+        return self._scorer.score(job.task, job.scenario, job.response)
+
+    def _score_misses(self, jobs: Sequence[FeedbackJob]) -> list:
+        """Fan the unique cache misses out to the configured backend."""
+        backend = self.config.backend
+        if backend == "process" and self._payload is not None:
+            return run_process(
+                self._payload, jobs, max_workers=self.config.max_workers, fallback=self._scorer
             )
-            return feedback.num_satisfied
-        feedback = self.verifier.verify_response(
-            self.scenario_model(job.scenario), job.response, task=job.task
-        )
-        return feedback.num_satisfied
+        if backend in ("thread", "process"):
+            # "process" lands here only when no payload could be built — a
+            # custom model builder or a verifier diverging from the feedback
+            # config, neither of which can be rebuilt inside a worker; the
+            # thread pool is the closest safe substitute and scores
+            # identically.
+            return run_thread(self._scorer, jobs, max_workers=self.config.max_workers)
+        return run_serial(self._scorer, jobs)
 
     def score_batch(self, jobs: Sequence[FeedbackJob]) -> list:
         """Scores for ``jobs``, in submission order.
@@ -186,7 +227,7 @@ class FeedbackService:
         jobs = list(jobs)
         start = time.perf_counter()
         if not self.config.enabled:
-            scores = [self._score_uncached(job) for job in jobs]
+            scores = run_serial(self._scorer, jobs)
             self.metrics.record_batch(
                 jobs=len(jobs), unique=len(jobs), hits=0, misses=len(jobs),
                 seconds=time.perf_counter() - start,
@@ -220,11 +261,7 @@ class FeedbackService:
                 resolved[key] = cached
 
         if misses:
-            if self.config.backend == "thread" and len(misses) > 1:
-                with ThreadPoolExecutor(max_workers=self.config.max_workers) as pool:
-                    miss_scores = list(pool.map(self._score_uncached, [job for _, job in misses]))
-            else:
-                miss_scores = [self._score_uncached(job) for _, job in misses]
+            miss_scores = self._score_misses([job for _, job in misses])
             for (key, _), score in zip(misses, miss_scores):
                 resolved[key] = score
                 self.cache.put(key, score)
@@ -250,16 +287,25 @@ class FeedbackService:
 
     # ------------------------------------------------------------------ #
     def flush(self) -> bool:
-        """Persist the cache when a ``persist_path`` is configured.
+        """Persist the cache to ``persist_path`` and/or ``shared_cache_dir``.
 
-        Best-effort, like warm-starting: a full disk or revoked permissions
-        must not destroy the results the cache merely accelerates.  Returns
-        True when an enabled persist path was written.
+        Best-effort, like warm-starting: a full disk, revoked permissions or
+        an unserializable score must not destroy the results the cache merely
+        accelerates.  Both writes are atomic, so a crash mid-flush can never
+        corrupt a previously persisted cache.  Returns True when at least one
+        configured destination was written.
         """
-        if self.config.persist_path is None:
-            return False
-        try:
-            self.cache.save(self.config.persist_path)
-            return True
-        except OSError:
-            return False
+        wrote = False
+        if self.config.persist_path is not None:
+            try:
+                self.cache.save(self.config.persist_path)
+                wrote = True
+            except (OSError, TypeError, ValueError):
+                pass
+        if self.config.shared_cache_dir is not None:
+            try:
+                CacheDirectory(self.config.shared_cache_dir).store(self._fingerprint, self.cache)
+                wrote = True
+            except (OSError, TypeError, ValueError):
+                pass
+        return wrote

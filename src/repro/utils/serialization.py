@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
 from pathlib import Path
 from typing import Any
 
@@ -35,6 +36,33 @@ def dump_json(obj: Any, path: str | Path, indent: int = 2) -> Path:
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(to_jsonable(obj), indent=indent, sort_keys=True))
     return path
+
+
+def write_text_atomic(path: str | Path, text: str) -> Path:
+    """Write ``text`` to ``path`` via a sibling tmp file + :func:`os.replace`.
+
+    Atomic on POSIX: a crash or full disk mid-write leaves the previous
+    contents of ``path`` untouched; at worst a stray ``.tmp.<pid>`` file
+    remains, which readers never look at.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    try:
+        tmp.write_text(text)
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+    return path
+
+
+def dump_json_atomic(obj: Any, path: str | Path, indent: int = 2) -> Path:
+    """Like :func:`dump_json`, but crash-safe via :func:`write_text_atomic`.
+
+    The payload is serialized *before* any file is opened, so a ``TypeError``
+    from an unserializable object cannot truncate an existing file.
+    """
+    return write_text_atomic(path, json.dumps(to_jsonable(obj), indent=indent, sort_keys=True))
 
 
 def load_json(path: str | Path) -> Any:

@@ -168,7 +168,7 @@ class TestFeedbackService:
             service = FeedbackService(core_specifications(), feedback=feedback)
             assert service.score_response(right_turn_task, "Please drive safely out there.") == 0
 
-    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
     def test_batch_order_is_deterministic(self, right_turn_task, batch_responses, backend):
         config = ServingConfig(backend=backend, max_workers=3)
         service = FeedbackService(core_specifications(), feedback=FeedbackConfig(), config=config)
@@ -271,6 +271,87 @@ class TestCli:
         jsonl.write_text('{"task": "fly_to_the_moon", "response": "1. Stop."}\n')
         assert main([str(jsonl)]) == 2
         assert "add a 'scenario' field" in capsys.readouterr().err
+
+    def test_rejects_non_string_fields_before_scoring(self, tmp_path, capsys):
+        from repro.serving.cli import main
+
+        jsonl = tmp_path / "in.jsonl"
+        jsonl.write_text('{"task": "enter_roundabout", "response": 5}\n')
+        assert main([str(jsonl)]) == 2
+        assert "'response' must be a string" in capsys.readouterr().err
+        jsonl.write_text('{"task": "enter_roundabout", "response": "1. Stop.", "scenario": 9}\n')
+        assert main([str(jsonl)]) == 2
+        assert "'scenario' must be a string" in capsys.readouterr().err
+
+    def test_metadata_fields_round_trip_to_output(self, tmp_path, capsys):
+        """Extra input fields (ids, provenance) must survive into the output."""
+        import json
+
+        from repro.serving.cli import main
+
+        record = {
+            "task": "enter_roundabout",
+            "response": "1. If there is a pedestrian, stop.",
+            "id": "sample-17",
+            "meta": {"epoch": 3, "origin": "dpo-sampling"},
+        }
+        jsonl = tmp_path / "in.jsonl"
+        jsonl.write_text(json.dumps(record) + "\n")
+        out = tmp_path / "out.jsonl"
+        assert main([str(jsonl), "--core-specs", "-o", str(out), "--backend", "serial"]) == 0
+        (scored,) = [json.loads(line) for line in out.read_text().splitlines()]
+        assert scored["id"] == "sample-17"
+        assert scored["meta"] == {"epoch": 3, "origin": "dpo-sampling"}
+        assert scored["scenario"] == "roundabout"
+        assert isinstance(scored["score"], int)
+        # Everything from the input is still there, score/scenario merged in.
+        assert scored == {**record, "scenario": "roundabout", "score": scored["score"]}
+
+    def test_input_is_validated_before_the_service_is_built(self, tmp_path, capsys, monkeypatch):
+        """A bad input file must fail fast, before verifier construction."""
+        import repro.serving.scheduler as scheduler
+
+        def exploding_init(self, *args, **kwargs):
+            raise AssertionError("FeedbackService must not be built for invalid input")
+
+        monkeypatch.setattr(scheduler.FeedbackService, "__init__", exploding_init)
+        from repro.serving.cli import main
+
+        missing = tmp_path / "nope.jsonl"
+        assert main([str(missing)]) == 2
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        assert main([str(bad)]) == 2
+        assert "invalid JSON" in capsys.readouterr().err
+
+    def test_failed_run_leaves_no_truncated_output(self, tmp_path, capsys):
+        import json
+
+        from repro.serving.cli import main
+
+        out = tmp_path / "out.jsonl"
+        out.write_text('{"task": "previous", "score": 1}\n')
+        jsonl = tmp_path / "in.jsonl"
+        jsonl.write_text('{"task": "enter_roundabout"}\n')  # missing response
+        assert main([str(jsonl), "-o", str(out)]) == 2
+        # The pre-existing output is untouched and no tmp litter remains.
+        assert json.loads(out.read_text())["task"] == "previous"
+        assert list(tmp_path.glob("out.jsonl.tmp.*")) == []
+
+    def test_shared_cache_dir_warms_second_invocation(self, tmp_path, capsys):
+        from repro.serving.cli import main
+
+        jsonl = tmp_path / "in.jsonl"
+        jsonl.write_text(
+            '{"task": "merge_onto_highway", "response": "1. Go straight onto the highway."}\n'
+        )
+        argv = [str(jsonl), "--core-specs", "--cache-dir", str(tmp_path / "shared"),
+                "-o", str(tmp_path / "out.jsonl")]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        err = capsys.readouterr().err
+        assert "hit rate 100%" in err and "warm-started" in err
 
 
 class TestJobLevelApi:
