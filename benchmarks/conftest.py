@@ -46,7 +46,10 @@ def dpoaf_run():
     """One full DPO-AF pipeline run shared by the model-level benchmarks."""
     pipeline = DPOAFPipeline(benchmark_pipeline_config(seed=0), specifications=all_specifications())
     result = pipeline.run(evaluate_checkpoints=True)
-    return pipeline, result
+    yield pipeline, result
+    # Release the serving layer's dispatcher thread / worker pool at session
+    # end — dependent benchmarks still score through the pipeline until then.
+    pipeline.close()
 
 
 def print_table(title: str, header: list, rows: list) -> None:

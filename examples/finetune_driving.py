@@ -24,9 +24,9 @@ def main() -> None:
         corpus_samples_per_task=24,
         seed=0,
     )
-    pipeline = DPOAFPipeline(config)
     print("Running DPO-AF (pre-train → sample → verify → rank → DPO) ...")
-    result = pipeline.run(evaluate_checkpoints=True)
+    with DPOAFPipeline(config) as pipeline:
+        result = pipeline.run(evaluate_checkpoints=True)
 
     history = result.dpo_result.history
     print(f"\nCollected {len(result.preference_pairs)} preference pairs "

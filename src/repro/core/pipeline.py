@@ -11,7 +11,12 @@ The pipeline wires every substrate together:
    batched, cached :class:`~repro.serving.scheduler.FeedbackService`
    (``serving.backend`` selects serial/thread/process execution of cache
    misses, and ``serving.shared_cache_dir`` warm-starts runs from a cache
-   directory shared with the benchmarks and the ``repro-serve`` CLI);
+   directory shared with the benchmarks and the ``repro-serve`` CLI).
+   Sampling and verification are *overlapped*: each task's responses are
+   submitted asynchronously (``FeedbackService.submit_batch``) as soon as
+   they are sampled, so task *k+1* samples on the main thread while task
+   *k* verifies on the service's dispatcher — batches execute in submission
+   order, keeping every score bitwise-identical to the serial loop;
 4. turn the feedback ranking into preference pairs and run *DPO with LoRA*;
 5. *evaluate* checkpoints by re-sampling responses and counting satisfied
    specifications on the training and validation task splits (Figure 9) and
@@ -151,9 +156,9 @@ class DPOAFPipeline:
         seed: int | None = None,
     ) -> list:
         """Sample responses per training task, score them, and build pairs."""
-        sampling = sampling or self.config.sampling
+        sampling = sampling if sampling is not None else self.config.sampling
         rng = seeded_rng(self.config.seed if seed is None else seed)
-        pairs = []
+        pending = []
         for task in self.tasks:
             prompt = format_prompt(task)
             responses = sample_responses(
@@ -166,8 +171,12 @@ class DPOAFPipeline:
                 max_new_tokens=sampling.max_new_tokens,
                 seed=rng,
             )
-            scores = self.serving.score_responses(task, responses)
-            pairs.extend(rank_to_pairs(prompt, responses, scores, task=task.name))
+            # Submit asynchronously and keep sampling: task k verifies on the
+            # service's dispatcher while task k+1 samples here.
+            pending.append((task, prompt, responses, self.serving.submit_responses(task, responses)))
+        pairs = []
+        for task, prompt, responses, handle in pending:
+            pairs.extend(rank_to_pairs(prompt, responses, handle.result(), task=task.name))
         return pairs
 
     def augment_with_templates(self, pairs: list, *, per_task: int = 6) -> list:
@@ -181,14 +190,16 @@ class DPOAFPipeline:
         """
         from repro.driving.responses import VAGUE_RESPONSES, response_templates
 
-        augmented = list(pairs)
+        pending = []
         for task in self.tasks:
             prompt = format_prompt(task)
             compliant = response_templates(task.name, "compliant")
             flawed = response_templates(task.name, "flawed")
             candidates = list(compliant) + list(flawed[:2]) + [VAGUE_RESPONSES[0]]
-            scores = self.serving.score_responses(task, candidates)
-            augmented.extend(rank_to_pairs(prompt, candidates, scores, task=task.name)[:per_task])
+            pending.append((task, prompt, candidates, self.serving.submit_responses(task, candidates)))
+        augmented = list(pairs)
+        for task, prompt, candidates, handle in pending:
+            augmented.extend(rank_to_pairs(prompt, candidates, handle.result(), task=task.name)[:per_task])
         return augmented
 
     # ------------------------------------------------------------------ #
@@ -212,11 +223,17 @@ class DPOAFPipeline:
         num_samples: int | None = None,
         seed: int = 1234,
     ) -> ModelEvaluation:
-        """Sample responses on a task set and verify them (Figure 9's metric)."""
+        """Sample responses on a task set and verify them (Figure 9's metric).
+
+        ``num_samples`` falls back to the sampling config only when omitted —
+        an explicit 0 means "sample nothing" (``is None`` check, not
+        truthiness), which evaluates every task to an empty count list.
+        """
         tasks = list(tasks) if tasks is not None else list(self.tasks) + list(self.validation)
-        num_samples = num_samples or self.config.sampling.responses_per_prompt
+        if num_samples is None:
+            num_samples = self.config.sampling.responses_per_prompt
         rng = seeded_rng(seed)
-        evaluation = ModelEvaluation()
+        pending = []
         for task in tasks:
             prompt = format_prompt(task)
             responses = sample_responses(
@@ -229,13 +246,15 @@ class DPOAFPipeline:
                 max_new_tokens=self.config.sampling.max_new_tokens,
                 seed=rng,
             )
-            counts = self.serving.score_responses(task, responses)
+            pending.append((task, self.serving.submit_responses(task, responses)))
+        evaluation = ModelEvaluation()
+        for task, handle in pending:
             evaluation.per_task.append(
                 TaskEvaluation(
                     task=task.name,
                     split=task.split,
                     num_specifications=len(self.specifications),
-                    satisfied_counts=counts,
+                    satisfied_counts=handle.result(),
                 )
             )
         return evaluation
@@ -279,3 +298,21 @@ class DPOAFPipeline:
             checkpoint_evaluations=checkpoint_evaluations,
             serving_metrics=serving_metrics,
         )
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release the serving layer's dispatcher thread and worker processes.
+
+        ``run()`` leaves the pipeline reusable (its flush is part of the run);
+        call this — or use the pipeline as a context manager — when done, so a
+        process-backend pool does not outlive the experiment.
+        """
+        self.serving.close()
+
+    def __enter__(self) -> "DPOAFPipeline":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -22,19 +22,28 @@ This package turns it into a standalone service with four layers:
     The three execution strategies for scoring cache misses
     (:mod:`repro.serving.backends`): ``"serial"`` (inline reference loop),
     ``"thread"`` (GIL-bound pool; cheap, always safe) and ``"process"``
-    (a ``ProcessPoolExecutor`` whose workers rebuild the
-    verifier/world-model/evaluator stack once per process from a picklable
-    :class:`~repro.serving.backends.WorkerPayload` — true multi-core
-    parallelism for cold batches of pure-Python verification).  All three
-    return bitwise-identical scores in submission order; select one with
-    ``ServingConfig(backend=...)``.
+    (a *persistent* :class:`~repro.serving.backends.WorkerPool` whose worker
+    processes rebuild the verifier/world-model/evaluator stack once per
+    process from a picklable :class:`~repro.serving.backends.WorkerPayload`,
+    then stay alive across every batch the service scores — the
+    fork/initializer cost is paid once per service, not once per cold
+    batch).  All three return bitwise-identical scores in submission order;
+    select one with ``ServingConfig(backend=...)``.
 ``scheduler``
     :class:`~repro.serving.scheduler.FeedbackService` — accepts batches of
     :class:`~repro.serving.scheduler.FeedbackJob`, partitions cache hits from
     misses, fans misses out to the configured backend, and scatters scores
     back in deterministic submission order.  World models, formal verifiers
     and empirical evaluators are constructed once per scenario, not once per
-    response.
+    response.  Besides synchronous ``score_batch``, batches can be submitted
+    asynchronously: ``submit_batch`` queues work on a dispatcher thread and
+    returns a :class:`~repro.serving.scheduler.PendingBatch` future handle
+    immediately (stream completions with
+    :func:`~repro.serving.scheduler.as_completed`, or await
+    ``score_batch_async`` from an event loop), so producers overlap sampling
+    with verification while scores stay bitwise-identical to the synchronous
+    path.  Services own threads/processes once those paths are used; release
+    them with ``close()`` or a ``with`` block.
 ``metrics``
     Throughput / latency / hit-rate telemetry
     (:class:`~repro.serving.metrics.ServingMetrics`), surfaced on
@@ -55,7 +64,12 @@ shard file::
 Services warm-start from their own shard at construction and merge results
 back on ``flush()``; shards are written with tmp-file + ``os.replace``, so a
 crash can never leave a partial shard, and corrupt or foreign shards load as
-empty rather than serving stale scores.
+empty rather than serving stale scores.  Long-lived directories are bounded
+by :meth:`CacheDirectory.compact <repro.serving.cache.CacheDirectory.compact>`
+(run automatically at flush time when ``ServingConfig.shared_cache_max_entries``
+/ ``shared_cache_max_bytes`` are set): shards are trimmed to their newest
+entries, evicted whole oldest-write-first past the byte budget, and orphaned
+lock/tmp litter is swept.
 
 Scores produced with serving enabled are bitwise-identical to the serial
 reference path (``ServingConfig(enabled=False)``): the cache key covers every
@@ -63,10 +77,11 @@ input that can influence a score, and canonicalisation only discards
 whitespace the step parser provably ignores.
 """
 
-from repro.serving.backends import ResponseScorer, WorkerPayload
+from repro.serving.backends import ResponseScorer, WorkerPayload, WorkerPool
 from repro.serving.cache import (
     CacheDirectory,
     CacheStats,
+    CompactionReport,
     FeedbackCache,
     cache_key,
     feedback_fingerprint,
@@ -75,12 +90,13 @@ from repro.serving.cache import (
 from repro.serving.config import BACKENDS, ServingConfig
 from repro.serving.dedup import canonicalize_response, dedupe_responses, first_occurrence
 from repro.serving.metrics import ServingMetrics
-from repro.serving.scheduler import FeedbackJob, FeedbackService
+from repro.serving.scheduler import FeedbackJob, FeedbackService, PendingBatch, as_completed
 
 __all__ = [
     "BACKENDS",
     "CacheDirectory",
     "CacheStats",
+    "CompactionReport",
     "FeedbackCache",
     "cache_key",
     "feedback_fingerprint",
@@ -88,10 +104,13 @@ __all__ = [
     "ResponseScorer",
     "ServingConfig",
     "WorkerPayload",
+    "WorkerPool",
     "canonicalize_response",
     "dedupe_responses",
     "first_occurrence",
     "ServingMetrics",
     "FeedbackJob",
     "FeedbackService",
+    "PendingBatch",
+    "as_completed",
 ]

@@ -19,6 +19,16 @@ work.  Three backends execute that work:
     miss batches fall back to the serial loop — forking processes for a couple
     of jobs costs more than it saves.
 
+The process backend's executor lives inside a :class:`WorkerPool`: the pool is
+started lazily on the first large-enough miss batch and then *reused for every
+subsequent batch* over the owning service's lifetime, so the fork/initializer
+cost is paid once per worker rather than once per cold batch.  ``close()``
+(reached through :meth:`FeedbackService.close
+<repro.serving.scheduler.FeedbackService.close>` or the service's context
+manager) shuts the workers down; a closed or broken pool degrades to the
+serial loop, never to wrong scores.  :func:`run_process` remains as the
+one-shot convenience (a throwaway pool per call).
+
 :class:`ResponseScorer` is the single implementation of "score one response
 from scratch" shared by all three: the scheduler owns one for the serial and
 thread paths, and every worker process owns one built from the payload.
@@ -26,6 +36,7 @@ thread paths, and every worker process owns one built from the payload.
 
 from __future__ import annotations
 
+import threading
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Mapping, Sequence
@@ -217,6 +228,129 @@ def run_thread(scorer: ResponseScorer, jobs: Sequence, *, max_workers: int) -> l
         return list(pool.map(lambda job: scorer.score(job.task, job.scenario, job.response), jobs))
 
 
+class WorkerPool:
+    """A lazily started, *persistent* process pool for scoring cache misses.
+
+    The pre-refactor process backend forked a fresh ``ProcessPoolExecutor``
+    per cold batch, re-running the per-worker initializer (verifier /
+    world-model / evaluator construction) dozens of times per pipeline run.
+    A ``WorkerPool`` instead starts its executor on the first large-enough
+    batch and reuses it for every batch thereafter — ``starts`` records how
+    many times the executor was actually launched over the pool's lifetime
+    (1 for a healthy run), which the tests and benchmarks assert on.
+
+    Degradation is always toward the serial reference, never toward wrong
+    scores: batches below ``min_batch`` are scored inline, a pool whose
+    construction fails or whose workers die (``OSError`` /
+    ``BrokenExecutor``) is discarded and the batch re-scored serially, and a
+    closed pool keeps answering via the fallback scorer.
+    """
+
+    def __init__(
+        self,
+        payload: WorkerPayload,
+        *,
+        max_workers: int,
+        min_batch: int = PROCESS_MIN_BATCH,
+    ):
+        self.payload = payload
+        self.max_workers = max_workers
+        self.min_batch = min_batch
+        self._executor: ProcessPoolExecutor | None = None
+        #: Executor launches over this pool's lifetime (fork/initializer cost
+        #: is paid ``starts × max_workers`` times, so reuse keeps this at 1).
+        self.starts = 0
+        self.closed = False
+        self._broken = False
+        # Guards the closed/broken flags and executor creation/teardown, so a
+        # run() racing close() can never fork a fresh executor that nothing
+        # would ever shut down.
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    def _acquire_executor(self) -> ProcessPoolExecutor | None:
+        """The live executor (forking it on first use), or None when the pool
+        is closed/broken and the caller must take the serial path."""
+        with self._lock:
+            if self.closed or self._broken:
+                return None
+            if self._executor is None:
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.max_workers,
+                    initializer=_initialize_worker,
+                    initargs=(self.payload,),
+                )
+                self.starts += 1
+            return self._executor
+
+    def _discard_executor(self) -> None:
+        with self._lock:
+            executor, self._executor = self._executor, None
+            self._broken = True
+        if executor is not None:
+            try:
+                executor.shutdown(wait=False)
+            except Exception:
+                pass
+
+    # ------------------------------------------------------------------ #
+    def run(self, jobs: Sequence, *, fallback: ResponseScorer) -> list:
+        """Score ``jobs`` on the (reused) pool; results in submission order.
+
+        Jobs are split into at most ``4 × max_workers`` contiguous chunks
+        (enough slack for work-stealing across uneven verification times
+        without paying per-job IPC); ``pool.map`` preserves chunk order, so
+        concatenating the per-chunk score lists reproduces submission order
+        exactly.  Batches smaller than ``min_batch`` are scored inline with
+        ``fallback`` — identical scores, none of the dispatch cost.
+        """
+        jobs = list(jobs)
+        if len(jobs) < max(self.min_batch, 2):
+            return run_serial(fallback, jobs)
+        try:
+            pool = self._acquire_executor()
+        except OSError:
+            self._discard_executor()
+            return run_serial(fallback, jobs)
+        if pool is None:  # closed or broken: correctness over parallelism
+            return run_serial(fallback, jobs)
+        triples = [(job.task, job.scenario, job.response) for job in jobs]
+        chunk_size = max(1, -(-len(triples) // (self.max_workers * 4)))
+        chunks = [triples[i : i + chunk_size] for i in range(0, len(triples), chunk_size)]
+        try:
+            scores: list = []
+            for chunk_scores in pool.map(_score_chunk, chunks):
+                scores.extend(chunk_scores)
+            return scores
+        except (OSError, BrokenExecutor):
+            # Environments without working multiprocessing primitives
+            # (restricted sandboxes, where pool construction raises OSError or
+            # the workers die and the pool breaks) still get correct scores,
+            # just without the parallelism.  The broken executor is discarded
+            # so later batches skip straight to the serial path.
+            self._discard_executor()
+            return run_serial(fallback, jobs)
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Shut the worker processes down.  Idempotent.
+
+        Scoring through a closed pool still works — it degrades to the serial
+        fallback — so a late ``score_batch`` cannot crash, only slow down.
+        """
+        with self._lock:
+            self.closed = True
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
 def run_process(
     payload: WorkerPayload,
     jobs: Sequence,
@@ -225,32 +359,13 @@ def run_process(
     fallback: ResponseScorer,
     min_batch: int = PROCESS_MIN_BATCH,
 ) -> list:
-    """Score ``jobs`` on a process pool; results in submission order.
+    """Score ``jobs`` on a *one-shot* process pool; results in submission order.
 
-    Jobs are split into at most ``4 × max_workers`` contiguous chunks (enough
-    slack for work-stealing across uneven verification times without paying
-    per-job IPC); ``pool.map`` preserves chunk order, so concatenating the
-    per-chunk score lists reproduces submission order exactly.  Batches
-    smaller than ``min_batch`` are scored inline with ``fallback`` — identical
-    scores, none of the fork cost.
+    Convenience wrapper over :class:`WorkerPool` for callers without a batch
+    stream: the pool is forked, used for this batch and torn down.  Anything
+    scoring more than one batch should hold a ``WorkerPool`` (as
+    :class:`~repro.serving.scheduler.FeedbackService` does) and pay the
+    fork/initializer cost once.
     """
-    jobs = list(jobs)
-    if len(jobs) < max(min_batch, 2):
-        return run_serial(fallback, jobs)
-    triples = [(job.task, job.scenario, job.response) for job in jobs]
-    chunk_size = max(1, -(-len(triples) // (max_workers * 4)))
-    chunks = [triples[i : i + chunk_size] for i in range(0, len(triples), chunk_size)]
-    try:
-        with ProcessPoolExecutor(
-            max_workers=max_workers, initializer=_initialize_worker, initargs=(payload,)
-        ) as pool:
-            scores: list = []
-            for chunk_scores in pool.map(_score_chunk, chunks):
-                scores.extend(chunk_scores)
-            return scores
-    except (OSError, BrokenExecutor):
-        # Environments without working multiprocessing primitives (restricted
-        # sandboxes, where pool construction raises OSError or the workers die
-        # and the pool breaks) still get correct scores, just without the
-        # parallelism.
-        return run_serial(fallback, jobs)
+    with WorkerPool(payload, max_workers=max_workers, min_batch=min_batch) as pool:
+        return pool.run(jobs, fallback=fallback)

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import time
 from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -160,14 +161,16 @@ class FeedbackCache:
 
         Existing keys keep their current score (the in-memory entry is at
         least as fresh as a persisted one).  Returns the number of new keys
-        adopted — the warm-start size.
+        actually *retained* — a shard larger than ``max_entries`` adopts keys
+        that ``put`` immediately evicts again, and those must not inflate the
+        warm-start count.
         """
-        adopted = 0
+        adopted = []
         for key, score in entries:
             if key not in self._entries:
                 self.put(key, score)
-                adopted += 1
-        return adopted
+                adopted.append(key)
+        return sum(1 for key in adopted if key in self._entries)
 
     # ------------------------------------------------------------------ #
     def save(self, path: str | Path) -> Path:
@@ -186,9 +189,18 @@ class FeedbackCache:
 
     @classmethod
     def load(cls, path: str | Path, *, max_entries: int | None = None) -> "FeedbackCache":
-        """Rebuild a cache from :meth:`save` output; stale schemas load empty."""
+        """Rebuild a cache from :meth:`save` output; stale schemas load empty.
+
+        ``max_entries`` overrides the persisted bound only when explicitly
+        given (``is None`` check, not truthiness: a caller's — or a payload's
+        — 0 must surface as the constructor's ``ValueError``, not silently
+        become the default bound).
+        """
         payload = load_json(path)
-        cache = cls(max_entries=max_entries or payload.get("max_entries", 4096))
+        if max_entries is None:
+            stored = payload.get("max_entries")
+            max_entries = stored if stored is not None else 4096
+        cache = cls(max_entries=max_entries)
         if payload.get("schema") == CACHE_SCHEMA_VERSION:
             for key, score in payload.get("entries", []):
                 cache.put(key, score)
@@ -208,9 +220,17 @@ class CacheDirectory:
 
     * a missing, corrupt or stale-schema shard loads as an *empty* cache —
       never a partial one;
-    * in-flight ``*.tmp.<pid>`` files are never read;
+    * in-flight ``*.tmp.<pid>`` files and advisory ``*.lock`` files are never
+      read as shards;
     * a shard whose recorded fingerprint does not match the requester's
       (digest-prefix collision, hand-edited file) is ignored.
+
+    Long-lived directories are bounded by :meth:`compact`: shards are trimmed
+    to an entry budget (newest entries win), whole shards are evicted oldest-
+    write-first past a byte budget, and the lock/tmp litter that ``store``'s
+    atomic writes can leave behind is swept up.  ``FeedbackService.flush()``
+    runs it automatically when ``ServingConfig.shared_cache_max_entries`` /
+    ``shared_cache_max_bytes`` are set.
     """
 
     #: Hex digits of the fingerprint digest used as the shard file name.
@@ -291,3 +311,125 @@ class CacheDirectory:
         except (OSError, ValueError, KeyError, TypeError, AttributeError):
             pass
         return []
+
+    # ------------------------------------------------------------------ #
+    # Compaction
+    # ------------------------------------------------------------------ #
+    def shard_files(self) -> list:
+        """Every shard file in the directory, oldest write first.
+
+        Only ``*.json`` shards count: the sibling ``*.json.lock`` advisory
+        lock files and in-flight ``*.json.tmp.<pid>`` writes are never shards,
+        so they can never be loaded, trimmed or mistaken for cached scores.
+        """
+        shards = [
+            path
+            for path in self.root.glob("*.json")
+            if path.is_file() and ".tmp." not in path.name and not path.name.endswith(".lock")
+        ]
+        return sorted(shards, key=lambda path: (path.stat().st_mtime, path.name))
+
+    def compact(
+        self,
+        *,
+        max_entries: int | None = None,
+        max_bytes: int | None = None,
+        tmp_grace_seconds: float = 3600.0,
+    ) -> "CompactionReport":
+        """Bound the directory's size and sweep up ``store``'s litter.
+
+        Three passes, each independently best-effort (a shard another process
+        is rewriting concurrently is simply skipped this round):
+
+        1. *Trim*: every shard with more than ``max_entries`` entries is
+           rewritten (atomically, under the same advisory lock ``store``
+           takes) keeping only its **newest** ``max_entries`` entries — shard
+           entries are persisted oldest-first, so the front of the list is
+           the eviction end, mirroring the in-memory LRU.
+        2. *Evict*: while the shards' total size exceeds ``max_bytes``, whole
+           shards are deleted oldest-write-first.  Their lock files are left
+           for the sweep: unlinking a lock another process currently holds
+           would let a third process acquire a fresh inode and break the
+           shard's mutual exclusion.
+        3. *Sweep*: ``*.tmp.<pid>`` files (crashed writers) and orphaned
+           ``*.lock`` files (no surviving shard — ``store`` creates locks it
+           never deletes) are removed, both only once older than
+           ``tmp_grace_seconds``.  The grace window keeps the sweep from
+           racing a live ``store``: a brand-new fingerprint's lock exists
+           before its shard does, but it was also created (fresh mtime)
+           moments ago.
+
+        Either bound may be ``None`` (unbounded); the sweep always runs.
+        Returns a :class:`CompactionReport` of what was done.
+        """
+        trimmed = evicted = removed_locks = removed_tmp = 0
+
+        if max_entries is not None:
+            for shard in self.shard_files():
+                try:
+                    with self._store_lock(shard):
+                        payload = load_json(shard)
+                        entries = payload.get("entries", [])
+                        if (
+                            payload.get("schema") == CACHE_SCHEMA_VERSION
+                            and isinstance(entries, list)
+                            and len(entries) > max_entries
+                        ):
+                            payload["entries"] = entries[len(entries) - max_entries :]
+                            dump_json_atomic(payload, shard)
+                            trimmed += 1
+                except (OSError, ValueError, KeyError, TypeError, AttributeError):
+                    continue
+
+        if max_bytes is not None:
+            shards = self.shard_files()
+            sizes = {shard: shard.stat().st_size for shard in shards}
+            total = sum(sizes.values())
+            for shard in shards:  # oldest write first
+                if total <= max_bytes:
+                    break
+                try:
+                    shard.unlink(missing_ok=True)
+                except OSError:
+                    continue
+                total -= sizes[shard]
+                evicted += 1
+
+        now = time.time()
+        surviving = {shard.name for shard in self.shard_files()}
+        for lock in self.root.glob("*.lock"):
+            try:
+                if (
+                    lock.name[: -len(".lock")] not in surviving
+                    and now - lock.stat().st_mtime > tmp_grace_seconds
+                ):
+                    lock.unlink(missing_ok=True)
+                    removed_locks += 1
+            except OSError:
+                continue
+        for tmp in self.root.glob("*.tmp.*"):
+            try:
+                if now - tmp.stat().st_mtime > tmp_grace_seconds:
+                    tmp.unlink(missing_ok=True)
+                    removed_tmp += 1
+            except OSError:
+                continue
+
+        return CompactionReport(
+            trimmed_shards=trimmed,
+            evicted_shards=evicted,
+            removed_lock_files=removed_locks,
+            removed_tmp_files=removed_tmp,
+            total_bytes=sum(shard.stat().st_size for shard in self.shard_files()),
+        )
+
+
+@dataclass(frozen=True)
+class CompactionReport:
+    """What one :meth:`CacheDirectory.compact` pass did."""
+
+    trimmed_shards: int = 0
+    evicted_shards: int = 0
+    removed_lock_files: int = 0
+    removed_tmp_files: int = 0
+    total_bytes: int = 0

@@ -46,6 +46,12 @@ caching:
                       same directory and they warm-start each other.  A
                       changed mode/spec-set/seed changes the fingerprint and
                       therefore the shard, so stale scores are never served.
+  --cache-max-entries N / --cache-max-bytes N
+                      compact the shared directory after flushing: trim every
+                      shard to its newest N entries, then evict whole shards
+                      (least recently written first) until the directory is
+                      under N bytes — keeps long-lived cache directories from
+                      growing without bound.
 """
 
 
@@ -69,6 +75,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--cache-dir", type=Path, default=None,
         help="shared cross-run cache directory of per-fingerprint shards",
+    )
+    parser.add_argument(
+        "--cache-max-entries", type=int, default=None,
+        help="compact the shared cache directory to this many entries per shard",
+    )
+    parser.add_argument(
+        "--cache-max-bytes", type=int, default=None,
+        help="compact the shared cache directory to this many total bytes",
     )
     parser.add_argument("--seed", type=int, default=0, help="seed for empirical trace collection")
     return parser
@@ -149,26 +163,33 @@ def main(argv=None) -> int:
     from repro.serving import FeedbackJob, FeedbackService, ServingConfig
 
     specifications = core_specifications() if args.core_specs else all_specifications()
-    service = FeedbackService(
-        specifications,
-        feedback=FeedbackConfig(use_empirical=args.mode == "empirical"),
-        config=ServingConfig(
+    try:
+        config = ServingConfig(
             backend=args.backend,
             max_workers=args.max_workers,
             cache_size=args.cache_size,
             persist_path=str(args.cache_file) if args.cache_file else None,
             shared_cache_dir=str(args.cache_dir) if args.cache_dir else None,
-        ),
+            shared_cache_max_entries=args.cache_max_entries,
+            shared_cache_max_bytes=args.cache_max_bytes,
+        )
+    except ValueError as exc:
+        print(f"repro-serve: {exc}", file=sys.stderr)
+        return 2
+    # The context manager flushes the cache (and compacts the shared
+    # directory when bounded) on exit, then shuts down the worker pool.
+    with FeedbackService(
+        specifications,
+        feedback=FeedbackConfig(use_empirical=args.mode == "empirical"),
+        config=config,
         seed=args.seed,
-    )
-
-    scores = service.score_batch(
-        [
-            FeedbackJob(task=record["task"], scenario=scenario, response=record["response"])
-            for record, scenario in jobs
-        ]
-    )
-    service.flush()
+    ) as service:
+        scores = service.score_batch(
+            [
+                FeedbackJob(task=record["task"], scenario=scenario, response=record["response"])
+                for record, scenario in jobs
+            ]
+        )
 
     write_records(
         ({**record, "scenario": scenario, "score": score} for (record, scenario), score in zip(jobs, scores)),

@@ -44,6 +44,18 @@ class ServingConfig:
         service warm-starts from the shard matching its feedback fingerprint;
         ``flush()`` merges its results back.  Composes with ``persist_path``
         (a private single-file cache) — either, both or neither may be set.
+    shared_cache_max_entries:
+        Optional per-shard entry bound for the shared cache directory.  When
+        set, ``flush()`` compacts the directory
+        (:meth:`~repro.serving.cache.CacheDirectory.compact`), trimming every
+        shard to its newest ``shared_cache_max_entries`` entries so long-lived
+        directories stop growing without bound.
+    shared_cache_max_bytes:
+        Optional total-size bound (bytes) for the shared cache directory.
+        When set, ``flush()``-time compaction evicts whole shards, least
+        recently written first, until the directory fits.  Composes with
+        ``shared_cache_max_entries`` (entries are trimmed before shards are
+        evicted); either, both or neither may be set.
     """
 
     enabled: bool = True
@@ -52,6 +64,8 @@ class ServingConfig:
     max_workers: int = 4
     persist_path: str | None = None
     shared_cache_dir: str | None = None
+    shared_cache_max_entries: int | None = None
+    shared_cache_max_bytes: int | None = None
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -60,3 +74,20 @@ class ServingConfig:
             raise ValueError(f"cache_size must be positive, got {self.cache_size}")
         if self.max_workers <= 0:
             raise ValueError(f"max_workers must be positive, got {self.max_workers}")
+        if self.shared_cache_max_entries is not None and self.shared_cache_max_entries <= 0:
+            raise ValueError(
+                f"shared_cache_max_entries must be positive, got {self.shared_cache_max_entries}"
+            )
+        if self.shared_cache_max_bytes is not None and self.shared_cache_max_bytes <= 0:
+            raise ValueError(
+                f"shared_cache_max_bytes must be positive, got {self.shared_cache_max_bytes}"
+            )
+        if self.shared_cache_dir is None and (
+            self.shared_cache_max_entries is not None or self.shared_cache_max_bytes is not None
+        ):
+            # A bound with nothing to bound would be silently ignored; surface
+            # the misconfiguration instead of letting the user believe their
+            # cache directory is capped.
+            raise ValueError(
+                "shared_cache_max_entries/shared_cache_max_bytes require shared_cache_dir"
+            )

@@ -20,17 +20,27 @@ class ServingMetrics:
     unique_jobs: int = 0           # distinct canonical jobs per batch, summed
     cache_hits: int = 0            # unique jobs answered from the cache
     cache_misses: int = 0          # unique jobs that required verification
-    warm_start_entries: int = 0    # entries adopted from a shared cache directory
+    uncached_jobs: int = 0         # jobs scored with serving disabled (no cache lookups)
+    warm_start_entries: int = 0    # entries retained from a shared cache directory
     total_seconds: float = 0.0
 
     # ------------------------------------------------------------------ #
-    def record_batch(self, *, jobs: int, unique: int, hits: int, misses: int, seconds: float) -> None:
-        """Fold one ``score_batch`` call into the running totals."""
+    def record_batch(
+        self, *, jobs: int, unique: int, hits: int, misses: int, seconds: float, uncached: int = 0
+    ) -> None:
+        """Fold one ``score_batch`` call into the running totals.
+
+        ``uncached`` counts jobs the disabled-serving reference path scored
+        without ever consulting the cache — those are *not* misses, and must
+        not drag ``hit_rate`` / ``dedup_rate`` below what the cache actually
+        did.
+        """
         self.batches += 1
         self.jobs += jobs
         self.unique_jobs += unique
         self.cache_hits += hits
         self.cache_misses += misses
+        self.uncached_jobs += uncached
         self.total_seconds += seconds
 
     # ------------------------------------------------------------------ #
@@ -64,6 +74,7 @@ class ServingMetrics:
             "unique_jobs": self.unique_jobs,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "uncached_jobs": self.uncached_jobs,
             "warm_start_entries": self.warm_start_entries,
             "total_seconds": self.total_seconds,
             "hit_rate": self.hit_rate,
@@ -74,5 +85,5 @@ class ServingMetrics:
 
     def reset(self) -> None:
         self.batches = self.jobs = self.unique_jobs = 0
-        self.cache_hits = self.cache_misses = self.warm_start_entries = 0
+        self.cache_hits = self.cache_misses = self.uncached_jobs = self.warm_start_entries = 0
         self.total_seconds = 0.0

@@ -4,26 +4,50 @@
 (and anything else) scores language-model responses.  A batch of ``(task,
 response)`` jobs is canonicalised and deduplicated, cache hits are answered
 immediately, and only the remaining unique misses are verified — serially, on
-a thread pool, or on a process pool (see :mod:`repro.serving.backends`) —
-before results scatter back to the original submission order.  World models,
-formal verifiers and empirical evaluators are built once per scenario and
-reused across every batch (and, for the process backend, once per worker
-process).  A ``persist_path`` file and/or a ``shared_cache_dir`` of
-per-fingerprint shards warm-start the cache across runs.
+a thread pool, or on a persistent process pool (see
+:mod:`repro.serving.backends`) — before results scatter back to the original
+submission order.  World models, formal verifiers and empirical evaluators
+are built once per scenario and reused across every batch (and, for the
+process backend, once per worker process *for the service's whole lifetime*:
+the :class:`~repro.serving.backends.WorkerPool` is forked lazily on the first
+large cold batch and reused thereafter).  A ``persist_path`` file and/or a
+``shared_cache_dir`` of per-fingerprint shards warm-start the cache across
+runs.
+
+Two submission styles share one execution path:
+
+* :meth:`FeedbackService.score_batch` — synchronous, returns scores in
+  submission order (the reference API);
+* :meth:`FeedbackService.submit_batch` — asynchronous: the batch is queued on
+  a single dispatcher thread and a :class:`PendingBatch` future handle is
+  returned immediately, so a producer can sample batch *k+1* while batch *k*
+  verifies.  :func:`as_completed` streams handles as they finish and
+  :meth:`FeedbackService.score_batch_async` adapts a submission to
+  ``asyncio``.  Batches are *executed* strictly in submission order on the
+  one dispatcher thread, so the cache evolves exactly as it would under
+  sequential ``score_batch`` calls — async scores are bitwise-identical to
+  the synchronous ones.
+
+A service owns OS resources once the async or process paths are used
+(dispatcher thread, worker processes); release them with
+:meth:`FeedbackService.close` or by using the service as a context manager.
 """
 
 from __future__ import annotations
 
+import threading
 import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import as_completed as _futures_as_completed
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.feedback.formal import FormalVerifier
 from repro.serving.backends import (
     ResponseScorer,
     WorkerPayload,
-    run_process,
+    WorkerPool,
     run_serial,
     run_thread,
 )
@@ -46,6 +70,45 @@ class FeedbackJob:
     task: str
     scenario: str
     response: str
+
+
+class PendingBatch:
+    """Future handle for a batch submitted with :meth:`FeedbackService.submit_batch`.
+
+    A thin, read-only wrapper over a :class:`concurrent.futures.Future` whose
+    result is the batch's score list in submission order — exactly what
+    :meth:`FeedbackService.score_batch` would have returned.
+    """
+
+    def __init__(self, jobs: Sequence[FeedbackJob], future: Future):
+        self.jobs = list(jobs)
+        self._future = future
+
+    def result(self, timeout: float | None = None) -> list:
+        """Block until the batch is scored and return the scores."""
+        return self._future.result(timeout)
+
+    def exception(self, timeout: float | None = None):
+        return self._future.exception(timeout)
+
+    def done(self) -> bool:
+        return self._future.done()
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+
+def as_completed(batches: Iterable[PendingBatch], timeout: float | None = None) -> Iterator[PendingBatch]:
+    """Yield :class:`PendingBatch` handles as their scores become available.
+
+    The streaming counterpart of calling ``handle.result()`` in submission
+    order: consumers that don't care which batch finishes first (e.g. flushing
+    scored records to disk) can start on whichever verifies earliest.
+    """
+    batches = list(batches)
+    by_future = {batch._future: batch for batch in batches}
+    for future in _futures_as_completed(by_future, timeout=timeout):
+        yield by_future[future]
 
 
 class FeedbackService:
@@ -139,6 +202,19 @@ class FeedbackService:
             )
         self.cache = self._initial_cache()
         self._digests: dict = {}
+        # One persistent process pool per service lifetime (forked lazily on
+        # the first large miss batch, reused for every batch after that) and
+        # one dispatcher thread for async submissions.  The lock serialises
+        # score_batch bodies so direct calls and dispatcher-thread calls can
+        # interleave without racing the cache or the metrics.
+        self._pool: WorkerPool | None = None
+        self._dispatcher: ThreadPoolExecutor | None = None
+        self._batch_lock = threading.Lock()
+        # Guards lazy dispatcher creation and the closed flag, so concurrent
+        # submit_batch callers share one dispatcher (order determinism) and
+        # submit can never race past close() into a shut-down executor.
+        self._submit_lock = threading.Lock()
+        self._closed = False
 
     def _initial_cache(self) -> FeedbackCache:
         cache = None
@@ -204,9 +280,9 @@ class FeedbackService:
         """Fan the unique cache misses out to the configured backend."""
         backend = self.config.backend
         if backend == "process" and self._payload is not None:
-            return run_process(
-                self._payload, jobs, max_workers=self.config.max_workers, fallback=self._scorer
-            )
+            if self._pool is None:
+                self._pool = WorkerPool(self._payload, max_workers=self.config.max_workers)
+            return self._pool.run(jobs, fallback=self._scorer)
         if backend in ("thread", "process"):
             # "process" lands here only when no payload could be built — a
             # custom model builder or a verifier diverging from the feedback
@@ -222,15 +298,23 @@ class FeedbackService:
         Deduplicates by ``(scenario, canonical response)``, answers hits from
         the cache, fans the remaining misses out to the configured backend,
         and records telemetry.  Disabled serving degenerates to a serial loop
-        with no cache — the reference path.
+        with no cache — the reference path.  Thread-safe: batches from direct
+        callers and from the async dispatcher execute one at a time.
         """
-        jobs = list(jobs)
+        with self._batch_lock:
+            return self._score_batch_locked(list(jobs))
+
+    def _score_batch_locked(self, jobs: list) -> list:
         start = time.perf_counter()
         if not self.config.enabled:
+            # The reference path performs no cache lookups, so it must record
+            # none: hits=misses=0, with the work accounted as uncached jobs.
+            # (It used to claim `misses=len(jobs)`, making hit_rate report
+            # cache activity that never happened.)
             scores = run_serial(self._scorer, jobs)
             self.metrics.record_batch(
-                jobs=len(jobs), unique=len(jobs), hits=0, misses=len(jobs),
-                seconds=time.perf_counter() - start,
+                jobs=len(jobs), unique=len(jobs), hits=0, misses=0,
+                uncached=len(jobs), seconds=time.perf_counter() - start,
             )
             return scores
 
@@ -286,14 +370,90 @@ class FeedbackService:
         return self.score_responses(task, [response])[0]
 
     # ------------------------------------------------------------------ #
+    # Asynchronous submission
+    # ------------------------------------------------------------------ #
+    def submit_batch(self, jobs: Sequence[FeedbackJob]) -> PendingBatch:
+        """Queue ``jobs`` for scoring and return a :class:`PendingBatch` immediately.
+
+        Batches are executed in submission order on a single dispatcher
+        thread, so interleaved ``submit_batch`` / ``score_batch`` calls see
+        the cache evolve exactly as sequential ``score_batch`` calls would —
+        the handle's ``result()`` is bitwise-identical to the synchronous
+        score list.  The producer is free to keep sampling (the pipeline
+        samples task *k+1* while task *k* verifies here).
+        """
+        jobs = list(jobs)
+        with self._submit_lock:
+            if self._closed:
+                raise RuntimeError("submit_batch on a closed FeedbackService")
+            if self._dispatcher is None:
+                self._dispatcher = ThreadPoolExecutor(
+                    max_workers=1, thread_name_prefix="feedback-dispatch"
+                )
+            return PendingBatch(jobs, self._dispatcher.submit(self.score_batch, jobs))
+
+    def submit_responses(self, task, responses: Iterable[str]) -> PendingBatch:
+        """Async counterpart of :meth:`score_responses`."""
+        return self.submit_batch(
+            [FeedbackJob(task=task.name, scenario=task.scenario, response=r) for r in responses]
+        )
+
+    async def score_batch_async(self, jobs: Sequence[FeedbackJob]) -> list:
+        """``asyncio`` adapter over :meth:`submit_batch`.
+
+        Awaitable from any running event loop; verification happens on the
+        dispatcher thread / worker pool, so the loop stays responsive.
+        """
+        import asyncio
+
+        return await asyncio.wrap_future(self.submit_batch(jobs)._future)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self, *, flush: bool = True) -> None:
+        """Drain pending async batches and release threads/worker processes.
+
+        Waits for every batch already submitted, optionally flushes the cache
+        to its configured destinations, then shuts down the dispatcher thread
+        and the persistent process pool.  Idempotent; after ``close()`` the
+        synchronous ``score_batch`` path still works (the process backend
+        degrades to serial scoring) but ``submit_batch`` raises.
+        """
+        with self._submit_lock:
+            if self._closed:
+                return
+            self._closed = True
+            dispatcher, self._dispatcher = self._dispatcher, None
+        if dispatcher is not None:
+            dispatcher.shutdown(wait=True)
+        # Serialise against any in-flight synchronous score_batch: flushing
+        # while a batch mutates the cache, or closing the pool under a
+        # running pool.map, would corrupt the flush or crash the batch.
+        with self._batch_lock:
+            if flush:
+                self.flush()
+            if self._pool is not None:
+                self._pool.close()
+
+    def __enter__(self) -> "FeedbackService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
     def flush(self) -> bool:
         """Persist the cache to ``persist_path`` and/or ``shared_cache_dir``.
 
         Best-effort, like warm-starting: a full disk, revoked permissions or
         an unserializable score must not destroy the results the cache merely
         accelerates.  Both writes are atomic, so a crash mid-flush can never
-        corrupt a previously persisted cache.  Returns True when at least one
-        configured destination was written.
+        corrupt a previously persisted cache.  When the config bounds the
+        shared directory (``shared_cache_max_entries`` /
+        ``shared_cache_max_bytes``), the directory is compacted after the
+        store so it cannot grow without bound across runs.  Returns True when
+        at least one configured destination was written.
         """
         wrote = False
         if self.config.persist_path is not None:
@@ -304,8 +464,17 @@ class FeedbackService:
                 pass
         if self.config.shared_cache_dir is not None:
             try:
-                CacheDirectory(self.config.shared_cache_dir).store(self._fingerprint, self.cache)
+                directory = CacheDirectory(self.config.shared_cache_dir)
+                directory.store(self._fingerprint, self.cache)
                 wrote = True
+                if (
+                    self.config.shared_cache_max_entries is not None
+                    or self.config.shared_cache_max_bytes is not None
+                ):
+                    directory.compact(
+                        max_entries=self.config.shared_cache_max_entries,
+                        max_bytes=self.config.shared_cache_max_bytes,
+                    )
             except (OSError, TypeError, ValueError):
                 pass
         return wrote

@@ -83,7 +83,8 @@ class TestEvaluationContainers:
 class TestPipelinePieces:
     @pytest.fixture(scope="class")
     def pipeline(self):
-        return DPOAFPipeline(quick_pipeline_config(seed=0), specifications=core_specifications())
+        with DPOAFPipeline(quick_pipeline_config(seed=0), specifications=core_specifications()) as pipeline:
+            yield pipeline
 
     def test_configs_scale(self):
         quick = quick_pipeline_config()
@@ -112,3 +113,13 @@ class TestPipelinePieces:
         model = TransformerLM(ModelConfig(vocab_size=tokenizer.vocab_size, max_seq_len=8, dim=8, num_heads=2, num_layers=1, hidden_dim=16))
         with pytest.raises(TrainingError):
             pipeline.finetune(model, tokenizer, [])
+
+    def test_evaluate_model_honors_explicit_zero_samples(self, pipeline):
+        """num_samples=0 means sample nothing — it must not silently fall back
+        to the config default (falsy-`or` bug)."""
+        tokenizer = Tokenizer.fit(["x"])
+        model = TransformerLM(ModelConfig(vocab_size=tokenizer.vocab_size, max_seq_len=8, dim=8, num_heads=2, num_layers=1, hidden_dim=16))
+        evaluation = pipeline.evaluate_model(model, tokenizer, num_samples=0)
+        assert evaluation.per_task
+        assert all(t.satisfied_counts == [] for t in evaluation.per_task)
+        assert evaluation.satisfaction_ratio() == 0.0

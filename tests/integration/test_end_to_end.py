@@ -90,8 +90,8 @@ class TestPipelineEndToEnd:
             corpus_samples_per_task=16,
             seed=0,
         )
-        pipeline = DPOAFPipeline(config, specifications=core_specifications(), tasks=training_tasks()[:4], validation=())
-        return pipeline.run(evaluate_checkpoints=True)
+        with DPOAFPipeline(config, specifications=core_specifications(), tasks=training_tasks()[:4], validation=()) as pipeline:
+            return pipeline.run(evaluate_checkpoints=True)
 
     def test_dpo_metrics_move_in_the_right_direction(self, pipeline_result):
         history = pipeline_result.dpo_result.history

@@ -232,6 +232,25 @@ class TestSharedCacheAcrossRuns:
         assert second.score_batch(jobs) == cold_scores
         assert second.metrics.cache_misses == 0 and second.metrics.hit_rate > 0
 
+    def test_warm_start_counts_only_retained_entries(self, tmp_path):
+        """A shard larger than the cache bound must not claim every adopted
+        key as warm-started — `merge` reports what the LRU actually kept."""
+        jobs = _mixed_scenario_jobs()
+        shared = str(tmp_path / "shared")
+        first = FeedbackService(
+            core_specifications(), feedback=FeedbackConfig(),
+            config=ServingConfig(shared_cache_dir=shared),
+        )
+        first.score_batch(jobs)
+        first.flush()
+        shard_entries = len(first.cache)
+        assert shard_entries > 2
+        small = FeedbackService(
+            core_specifications(), feedback=FeedbackConfig(),
+            config=ServingConfig(shared_cache_dir=shared, cache_size=2),
+        )
+        assert small.metrics.warm_start_entries == 2 == len(small.cache)
+
     def test_changed_fingerprint_never_reuses_scores(self, tmp_path):
         jobs = _mixed_scenario_jobs()[:4]
         shared = str(tmp_path / "shared")

@@ -25,7 +25,9 @@ def parity_runs():
             config, specifications=core_specifications(), tasks=training_tasks()[:2], validation=()
         )
         results[enabled] = (pipeline, pipeline.run(augment_pairs=True))
-    return results
+    yield results
+    for pipeline, _ in results.values():
+        pipeline.close()
 
 
 class TestServingParity:

@@ -120,6 +120,32 @@ class TestFeedbackCache:
         loaded = FeedbackCache.load(path)
         assert loaded.get("x") == 3 and loaded.get("y") == 0 and len(loaded) == 2
 
+    def test_merge_reports_retained_not_adopted(self):
+        """Keys `put` immediately evicts must not inflate the warm-start count."""
+        cache = FeedbackCache(max_entries=2)
+        retained = cache.merge([[f"k{i}", i] for i in range(5)])
+        assert retained == 2 == len(cache)
+        # Merging the survivors again adopts nothing new.
+        assert cache.merge([["k3", 3], ["k4", 4]]) == 0
+
+    def test_load_honors_explicit_zero_max_entries(self, tmp_path):
+        """`max_entries=0` must surface the constructor's ValueError, not be
+        silently replaced by the persisted default (falsy-`or` bug)."""
+        cache = FeedbackCache(max_entries=8)
+        cache.put("x", 1)
+        path = cache.save(tmp_path / "cache.json")
+        with pytest.raises(ValueError):
+            FeedbackCache.load(path, max_entries=0)
+        # A corrupt payload bound of 0 is likewise an error, not a fallback.
+        import json
+
+        payload = json.loads(path.read_text())
+        payload["max_entries"] = 0
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError):
+            FeedbackCache.load(path)
+        assert FeedbackCache.load(path, max_entries=4).max_entries == 4
+
 
 @pytest.fixture(scope="module")
 def right_turn_task():
@@ -191,6 +217,34 @@ class TestFeedbackService:
         )
         assert len(service.cache) == 0
         assert service.metrics.hit_rate == 0.0
+
+    def test_disabled_serving_records_no_cache_lookups(self, right_turn_task, batch_responses):
+        """The reference path performs no lookups, so the telemetry must show
+        none — not `misses=len(jobs)` pretending the cache was consulted."""
+        service = FeedbackService(
+            core_specifications(), feedback=FeedbackConfig(), config=ServingConfig(enabled=False)
+        )
+        service.score_responses(right_turn_task, batch_responses)
+        snapshot = service.metrics.snapshot()
+        assert snapshot["cache_hits"] == 0 and snapshot["cache_misses"] == 0
+        assert snapshot["uncached_jobs"] == len(batch_responses)
+        assert snapshot["hit_rate"] == 0.0 and snapshot["dedup_rate"] == 0.0
+
+    def test_enabled_serving_records_no_uncached_jobs(self, right_turn_task, batch_responses):
+        service = FeedbackService(core_specifications(), feedback=FeedbackConfig())
+        service.score_responses(right_turn_task, batch_responses)
+        snapshot = service.metrics.snapshot()
+        assert snapshot["uncached_jobs"] == 0
+        assert snapshot["cache_misses"] > 0
+
+    def test_metrics_reset_clears_uncached_jobs(self):
+        from repro.serving import ServingMetrics
+
+        metrics = ServingMetrics()
+        metrics.record_batch(jobs=3, unique=3, hits=0, misses=0, uncached=3, seconds=0.1)
+        assert metrics.uncached_jobs == 3
+        metrics.reset()
+        assert metrics.uncached_jobs == 0 and metrics.snapshot()["uncached_jobs"] == 0
 
     def test_evaluator_and_model_built_once_per_scenario(self, right_turn_task):
         service = FeedbackService(
