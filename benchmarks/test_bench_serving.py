@@ -339,6 +339,141 @@ def test_bench_serving_async_submission_overlaps_batches(benchmark):
     assert submit_seconds < drain_seconds / 2
 
 
+def test_bench_serving_streaming_pair_construction_overlaps_verification(benchmark):
+    """Preference pairs are built from ``as_completed`` streaming: the first
+    task's pairs exist while later tasks are still verifying, instead of pair
+    construction starting only after every batch has been scored.  The
+    streamed pair lists must be identical to the blocking path's (same pair
+    set, bitwise-identical scores) — ``rank_to_pairs`` is order-independent,
+    which is what makes the overlap safe."""
+    from repro.feedback import rank_to_pairs
+    from repro.lm import format_prompt
+    from repro.serving import as_completed
+
+    task_batches = []
+    for task in list(training_tasks()[:4]) + [MERGE_TASK]:
+        responses = list(response_templates(task.name, "compliant"))
+        responses += list(response_templates(task.name, "flawed"))
+        task_batches.append((task, responses))
+
+    def run():
+        # Blocking reference: score every batch, then build pairs.
+        blocking_service = FeedbackService(all_specifications(), feedback=FeedbackConfig())
+        blocking_start = time.perf_counter()
+        scored = [
+            (task, responses, blocking_service.score_responses(task, responses))
+            for task, responses in task_batches
+        ]
+        blocking_verified_seconds = time.perf_counter() - blocking_start
+        blocking_pairs = [
+            rank_to_pairs(format_prompt(task), responses, scores, task=task.name)
+            for task, responses, scores in scored
+        ]
+        blocking_total_seconds = time.perf_counter() - blocking_start
+
+        # Streaming: build each task's pairs the moment its scores land.
+        with FeedbackService(all_specifications(), feedback=FeedbackConfig()) as service:
+            stream_start = time.perf_counter()
+            pending = [
+                (task, responses, service.submit_responses(task, responses))
+                for task, responses in task_batches
+            ]
+            index_of = {handle: i for i, (_, _, handle) in enumerate(pending)}
+            streamed_pairs: list = [None] * len(pending)
+            first_pairs_at = None
+            for handle in as_completed([handle for _, _, handle in pending]):
+                i = index_of[handle]
+                task, responses, _ = pending[i]
+                streamed_pairs[i] = rank_to_pairs(
+                    format_prompt(task), responses, handle.result(), task=task.name
+                )
+                if first_pairs_at is None:
+                    first_pairs_at = time.perf_counter() - stream_start
+            stream_total_seconds = time.perf_counter() - stream_start
+        return (
+            blocking_pairs,
+            blocking_verified_seconds,
+            blocking_total_seconds,
+            streamed_pairs,
+            first_pairs_at,
+            stream_total_seconds,
+        )
+
+    (
+        blocking_pairs,
+        blocking_verified_seconds,
+        blocking_total_seconds,
+        streamed_pairs,
+        first_pairs_at,
+        stream_total_seconds,
+    ) = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_table(
+        f"Streaming pair construction — {len(task_batches)} task batches",
+        ["path", "first pairs ready (s)", "total (s)"],
+        [
+            ("blocking (score all, then rank)", blocking_verified_seconds, blocking_total_seconds),
+            ("streaming (as_completed)", first_pairs_at, stream_total_seconds),
+        ],
+    )
+    assert streamed_pairs == blocking_pairs, (
+        "streamed pairs must equal the blocking path's — same pair lists, bitwise scores"
+    )
+    # The overlap claim: the first task's pairs exist before the blocking
+    # path would even have finished verification of the whole workload.
+    assert first_pairs_at < blocking_verified_seconds, (
+        f"streaming should start pair construction mid-verification: first pairs at "
+        f"{first_pairs_at:.3f}s vs {blocking_verified_seconds:.3f}s of blocking verification"
+    )
+
+
+def test_bench_serving_backpressure_bounds_inflight_work(benchmark):
+    """``submit_batch`` provably blocks at ``max_inflight_batches``: across a
+    stream of cold submissions the observed in-flight count never exceeds the
+    bound, the producer records blocked time, and the scores are unchanged."""
+    max_inflight = 2
+    all_jobs = _unique_cold_workload(copies=2)
+    size = max(4, len(all_jobs) // 8)
+    batches = [all_jobs[i : i + size] for i in range(0, len(all_jobs), size)]
+
+    def run():
+        reference_service = FeedbackService(all_specifications(), feedback=FeedbackConfig())
+        reference = [reference_service.score_batch(batch) for batch in batches]
+        with FeedbackService(
+            all_specifications(),
+            feedback=FeedbackConfig(),
+            config=ServingConfig(max_inflight_batches=max_inflight),
+        ) as service:
+            observed_inflight = []
+            submit_start = time.perf_counter()
+            handles = []
+            for batch in batches:
+                handles.append(service.submit_batch(batch))
+                with service._inflight:
+                    observed_inflight.append(service._inflight_batches)
+            submit_seconds = time.perf_counter() - submit_start
+            scores = [handle.result() for handle in handles]
+            total_seconds = time.perf_counter() - submit_start
+            waits = service.metrics.backpressure_waits
+            blocked_seconds = service.metrics.backpressure_seconds
+        return scores, reference, observed_inflight, submit_seconds, total_seconds, waits, blocked_seconds
+
+    scores, reference, observed_inflight, submit_seconds, total_seconds, waits, blocked_seconds = (
+        benchmark.pedantic(run, rounds=1, iterations=1)
+    )
+    print_table(
+        f"Back-pressure (max_inflight_batches={max_inflight}, {len(batches)} cold batches)",
+        ["max in-flight seen", "blocked submits", "blocked s", "submit s", "total s"],
+        [(max(observed_inflight), waits, blocked_seconds, submit_seconds, total_seconds)],
+    )
+    assert scores == reference, "back-pressure must not change scores"
+    assert max(observed_inflight) <= max_inflight, (
+        f"in-flight batches exceeded the bound: {max(observed_inflight)} > {max_inflight}"
+    )
+    # With far more batches than the bound, a fast producer must have blocked.
+    assert waits > 0 and blocked_seconds > 0, "producer never hit the back-pressure gate"
+
+
 def test_bench_serving_compaction_bounds_shard_size(benchmark, tmp_path):
     """A bounded shared cache directory stays under its budget across runs."""
     shared = str(tmp_path / "bounded_cache")

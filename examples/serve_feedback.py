@@ -5,12 +5,24 @@ Run with::
     PYTHONPATH=src python examples/serve_feedback.py responses.jsonl
 
 or, after ``pip install -e .``, as the ``repro-serve`` console command.  With
-no argument, a small demonstration file is generated from the response
-library (including the highway-merge task), scored twice through a *shared
-cache directory* — the second invocation warm-starts from the first's
-fingerprint shard — and the telemetry printed: the serving subsystem's
-quickstart.  On a multi-core machine, add ``--backend process`` to any
-invocation to verify cold batches in parallel worker processes.
+no argument, a two-part demonstration runs (the serving subsystem's
+quickstart; see ``docs/serving.md`` for the architecture behind it):
+
+1. *CLI cold/warm cycle* — a small workload is generated from the response
+   library (including the highway-merge task) and scored twice through a
+   *shared cache directory*: the second invocation warm-starts from the
+   first's fingerprint shard, so its hit rate is 100% and nothing is
+   re-verified.
+2. *Python streaming API* — the same workload is scored through
+   ``FeedbackService.submit_batch``: batches are queued on a shared
+   :class:`~repro.serving.scheduler.Dispatcher`, bounded by back-pressure
+   (``max_inflight_batches``), and consumed with
+   :func:`~repro.serving.scheduler.as_completed` as verification finishes —
+   the shape the pipeline uses to overlap sampling, verification, and
+   preference-pair construction.
+
+On a multi-core machine, add ``--backend process`` to any CLI invocation to
+verify cold batches in parallel worker processes.
 """
 
 from __future__ import annotations
@@ -24,15 +36,17 @@ from repro.driving import response_templates, task_by_name, training_tasks
 from repro.serving.cli import main as serve_main
 
 
-def demo() -> int:
-    """Generate a demo workload and score it cold, then warm, via a shared cache."""
-    workdir = Path(tempfile.mkdtemp(prefix="repro_serve_"))
+def _demo_tasks() -> list:
+    return list(training_tasks()[:4]) + [task_by_name("merge_onto_highway")]
+
+
+def demo_cli(workdir: Path) -> None:
+    """The CLI quickstart: score a JSONL file cold, then warm, via a shared cache."""
     jsonl = workdir / "responses.jsonl"
     cache_dir = workdir / "feedback_cache"
 
-    tasks = list(training_tasks()[:4]) + [task_by_name("merge_onto_highway")]
     with jsonl.open("w") as out:
-        for task in tasks:
+        for task in _demo_tasks():
             # Duplicates on purpose: the dedup layer should absorb them.
             templates = list(response_templates(task.name, "compliant")) * 2
             templates += list(response_templates(task.name, "flawed"))
@@ -46,6 +60,59 @@ def demo() -> int:
     print(f"== warm run (fingerprint shard under {cache_dir}) ==", file=sys.stderr)
     serve_main(argv)
     print(f"scored output: {workdir / 'scored.jsonl'}", file=sys.stderr)
+
+
+def demo_streaming() -> None:
+    """The Python-side streaming API: submit_batch + as_completed + back-pressure."""
+    from repro.core.config import FeedbackConfig
+    from repro.driving import all_specifications
+    from repro.serving import Dispatcher, FeedbackService, ServingConfig, as_completed
+
+    print("\n== streaming API (submit_batch / as_completed) ==", file=sys.stderr)
+    # One shared dispatcher could serve several services (e.g. a formal and an
+    # empirical channel); here one service demonstrates the lifecycle.
+    with Dispatcher(name="example-dispatch") as dispatcher:
+        with FeedbackService(
+            all_specifications(),
+            feedback=FeedbackConfig(),
+            # Back-pressure: at most 2 submitted batches may be unresolved.
+            # A producer running ahead of verification blocks in
+            # submit_batch until the dispatcher drains — bounded queueing,
+            # with the blocked time telemetered.
+            config=ServingConfig(max_inflight_batches=2),
+            dispatcher=dispatcher,
+        ) as service:
+            # Submit one batch per task; each call returns a PendingBatch
+            # future handle immediately (or blocks briefly under the bound).
+            handles = {}
+            for task in _demo_tasks():
+                responses = list(response_templates(task.name, "compliant"))
+                responses += list(response_templates(task.name, "flawed"))
+                handles[service.submit_responses(task, responses)] = task.name
+
+            # Consume in *completion* order: downstream work (pair
+            # construction in the pipeline) starts on whichever batch
+            # verifies first instead of waiting on the slowest.
+            for handle in as_completed(handles):
+                scores = handle.result()
+                print(
+                    f"  {handles[handle]:30s} {len(scores):2d} responses, "
+                    f"scores {min(scores)}..{max(scores)}",
+                    file=sys.stderr,
+                )
+            telemetry = service.metrics.snapshot()
+    print(
+        f"  {telemetry['jobs']} jobs, dedup rate {telemetry['dedup_rate']:.0%}, "
+        f"back-pressure blocked {telemetry['backpressure_waits']}× "
+        f"({telemetry['backpressure_seconds']:.2f}s)",
+        file=sys.stderr,
+    )
+
+
+def demo() -> int:
+    workdir = Path(tempfile.mkdtemp(prefix="repro_serve_"))
+    demo_cli(workdir)
+    demo_streaming()
     return 0
 
 

@@ -15,9 +15,18 @@ The pipeline wires every substrate together:
    Sampling and verification are *overlapped*: each task's responses are
    submitted asynchronously (``FeedbackService.submit_batch``) as soon as
    they are sampled, so task *k+1* samples on the main thread while task
-   *k* verifies on the service's dispatcher — batches execute in submission
-   order, keeping every score bitwise-identical to the serial loop;
-4. turn the feedback ranking into preference pairs and run *DPO with LoRA*;
+   *k* verifies on the pipeline's dispatcher — batches execute in submission
+   order, keeping every score bitwise-identical to the serial loop.  If the
+   serving config bounds in-flight work (``max_inflight_batches`` /
+   ``max_inflight_jobs``), the sampling loop blocks under back-pressure
+   instead of queueing unbounded batches;
+4. turn the feedback ranking into preference pairs — *streamed*: each task's
+   pairs are built the moment its scores complete
+   (:func:`repro.serving.scheduler.as_completed`), overlapping pair
+   construction with the verification of later batches, while the final
+   pair list is assembled in task order so it is bitwise-identical to the
+   blocking path (``rank_to_pairs`` itself is order-independent) — then run
+   *DPO with LoRA*;
 5. *evaluate* checkpoints by re-sampling responses and counting satisfied
    specifications on the training and validation task splits (Figure 9) and
    in the simulator (Figure 11).
@@ -42,8 +51,36 @@ from repro.lm.pretrain import PretrainResult, pretrain
 from repro.lm.sampling import sample_responses
 from repro.lm.tokenizer import Tokenizer
 from repro.lm.transformer import TransformerLM
-from repro.serving.scheduler import FeedbackService
+from repro.serving.scheduler import Dispatcher, FeedbackService, as_completed
 from repro.utils.rng import seeded_rng
+
+
+def _stream_completed(pending):
+    """Yield ``(index, metadata, scores)`` from ``pending`` in completion order.
+
+    ``pending`` is a list of tuples whose last element is a
+    :class:`~repro.serving.scheduler.PendingBatch`; ``index`` is the tuple's
+    position, so a consumer can process results as verification finishes yet
+    still assemble its output in submission order for determinism.
+    """
+    by_handle = {entry[-1]: (index, entry[:-1]) for index, entry in enumerate(pending)}
+    for handle in as_completed(by_handle):
+        index, metadata = by_handle[handle]
+        yield index, metadata, handle.result()
+
+
+def _drain_in_order(pending, build) -> list:
+    """One ``build(metadata, scores)`` result per ``pending`` entry, in order.
+
+    ``build`` runs in verification-*completion* order — downstream work (pair
+    construction, evaluation assembly) overlaps the batches still in flight —
+    while the returned list follows submission order, keeping streamed
+    results bitwise-identical to the blocking path.
+    """
+    results: dict = {}
+    for index, metadata, scores in _stream_completed(pending):
+        results[index] = build(metadata, scores)
+    return [results[index] for index in range(len(pending))]
 
 
 @dataclass
@@ -116,12 +153,18 @@ class DPOAFPipeline:
             wait_action=self.config.feedback.wait_action,
             restart_on_termination=self.config.feedback.restart_on_termination,
         )
+        # The pipeline owns one Dispatcher and shares it with its service;
+        # callers that build extra FeedbackServices (e.g. an empirical channel
+        # next to the formal one) can pass the same `pipeline.dispatcher` and
+        # serve several task streams over this single submission thread.
+        self.dispatcher = Dispatcher(name="pipeline-dispatch")
         self.serving = FeedbackService(
             self.specifications,
             feedback=self.config.feedback,
             config=self.config.serving,
             seed=self.config.seed,
             verifier=self.verifier,
+            dispatcher=self.dispatcher,
         )
 
     # ------------------------------------------------------------------ #
@@ -172,11 +215,22 @@ class DPOAFPipeline:
                 seed=rng,
             )
             # Submit asynchronously and keep sampling: task k verifies on the
-            # service's dispatcher while task k+1 samples here.
+            # pipeline's dispatcher while task k+1 samples here.  Under a
+            # configured in-flight bound this submission blocks (back-
+            # pressure) rather than queueing unbounded batches.
             pending.append((task, prompt, responses, self.serving.submit_responses(task, responses)))
+        # Build each task's pairs the moment its scores arrive instead of
+        # draining batches in task order — pair construction overlaps the
+        # verification still in flight.  rank_to_pairs is order-independent
+        # and the final list is assembled in task order, so the result is
+        # bitwise-identical to the blocking score_batch path.
+        def build(metadata, scores):
+            task, prompt, responses = metadata
+            return rank_to_pairs(prompt, responses, scores, task=task.name)
+
         pairs = []
-        for task, prompt, responses, handle in pending:
-            pairs.extend(rank_to_pairs(prompt, responses, handle.result(), task=task.name))
+        for task_pairs in _drain_in_order(pending, build):
+            pairs.extend(task_pairs)
         return pairs
 
     def augment_with_templates(self, pairs: list, *, per_task: int = 6) -> list:
@@ -197,9 +251,15 @@ class DPOAFPipeline:
             flawed = response_templates(task.name, "flawed")
             candidates = list(compliant) + list(flawed[:2]) + [VAGUE_RESPONSES[0]]
             pending.append((task, prompt, candidates, self.serving.submit_responses(task, candidates)))
+        # Streamed like collect_preference_pairs: rank each task's templates
+        # as its scores land, then append in task order for determinism.
+        def build(metadata, scores):
+            task, prompt, candidates = metadata
+            return rank_to_pairs(prompt, candidates, scores, task=task.name)[:per_task]
+
         augmented = list(pairs)
-        for task, prompt, candidates, handle in pending:
-            augmented.extend(rank_to_pairs(prompt, candidates, handle.result(), task=task.name)[:per_task])
+        for task_pairs in _drain_in_order(pending, build):
+            augmented.extend(task_pairs)
         return augmented
 
     # ------------------------------------------------------------------ #
@@ -247,16 +307,19 @@ class DPOAFPipeline:
                 seed=rng,
             )
             pending.append((task, self.serving.submit_responses(task, responses)))
-        evaluation = ModelEvaluation()
-        for task, handle in pending:
-            evaluation.per_task.append(
-                TaskEvaluation(
-                    task=task.name,
-                    split=task.split,
-                    num_specifications=len(self.specifications),
-                    satisfied_counts=handle.result(),
-                )
+        # Consume in completion order, report in task order — same streaming
+        # discipline as pair construction.
+        def build(metadata, counts):
+            (task,) = metadata
+            return TaskEvaluation(
+                task=task.name,
+                split=task.split,
+                num_specifications=len(self.specifications),
+                satisfied_counts=counts,
             )
+
+        evaluation = ModelEvaluation()
+        evaluation.per_task.extend(_drain_in_order(pending, build))
         return evaluation
 
     def evaluate_checkpoints(self, dpo_result: DPOResult, tokenizer: Tokenizer, *, num_samples: int = 2, seed: int = 99) -> dict:
@@ -307,9 +370,15 @@ class DPOAFPipeline:
 
         ``run()`` leaves the pipeline reusable (its flush is part of the run);
         call this — or use the pipeline as a context manager — when done, so a
-        process-backend pool does not outlive the experiment.
+        process-backend pool does not outlive the experiment.  The service
+        only *borrows* ``self.dispatcher`` (it drains and unregisters), so the
+        pipeline, as the owner, shuts the dispatch thread down afterwards.
         """
-        self.serving.close()
+        try:
+            self.serving.close()
+        finally:
+            # Even a failed flush must not leak the dispatch thread.
+            self.dispatcher.close()
 
     def __enter__(self) -> "DPOAFPipeline":
         return self

@@ -2,7 +2,14 @@
 
 from repro.feedback.empirical import EmpiricalEvaluator, EmpiricalFeedback, trace_satisfaction
 from repro.feedback.formal import FormalFeedback, FormalVerifier
-from repro.feedback.ranker import FeedbackRanker, PreferencePair, max_pairs, rank_to_pairs
+from repro.feedback.ranker import (
+    FeedbackRanker,
+    PreferencePair,
+    canonical_ranking,
+    max_pairs,
+    rank_to_pairs,
+    response_fingerprint,
+)
 
 __all__ = [
     "EmpiricalEvaluator",
@@ -12,6 +19,8 @@ __all__ = [
     "FormalVerifier",
     "FeedbackRanker",
     "PreferencePair",
+    "canonical_ranking",
     "max_pairs",
     "rank_to_pairs",
+    "response_fingerprint",
 ]

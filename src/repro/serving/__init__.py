@@ -42,8 +42,14 @@ This package turns it into a standalone service with four layers:
     :func:`~repro.serving.scheduler.as_completed`, or await
     ``score_batch_async`` from an event loop), so producers overlap sampling
     with verification while scores stay bitwise-identical to the synchronous
-    path.  Services own threads/processes once those paths are used; release
-    them with ``close()`` or a ``with`` block.
+    path.  Submission is *bounded*: ``ServingConfig.max_inflight_batches`` /
+    ``max_inflight_jobs`` apply back-pressure, blocking producers that run
+    too far ahead of verification (blocked time is telemetered as
+    ``backpressure_seconds``).  The dispatch thread is a first-class
+    :class:`~repro.serving.scheduler.Dispatcher` that several services can
+    share, serving multiple task streams over one thread.  Services own
+    threads/processes once those paths are used; release them with
+    ``close()`` or a ``with`` block.
 ``metrics``
     Throughput / latency / hit-rate telemetry
     (:class:`~repro.serving.metrics.ServingMetrics`), surfaced on
@@ -90,7 +96,13 @@ from repro.serving.cache import (
 from repro.serving.config import BACKENDS, ServingConfig
 from repro.serving.dedup import canonicalize_response, dedupe_responses, first_occurrence
 from repro.serving.metrics import ServingMetrics
-from repro.serving.scheduler import FeedbackJob, FeedbackService, PendingBatch, as_completed
+from repro.serving.scheduler import (
+    Dispatcher,
+    FeedbackJob,
+    FeedbackService,
+    PendingBatch,
+    as_completed,
+)
 
 __all__ = [
     "BACKENDS",
@@ -109,6 +121,7 @@ __all__ = [
     "dedupe_responses",
     "first_occurrence",
     "ServingMetrics",
+    "Dispatcher",
     "FeedbackJob",
     "FeedbackService",
     "PendingBatch",

@@ -241,6 +241,7 @@ class CacheDirectory:
         self.root.mkdir(parents=True, exist_ok=True)
 
     def shard_path(self, fingerprint: str) -> Path:
+        """Where ``fingerprint``'s shard lives: ``<sha256-prefix>.json``."""
         digest = hashlib.sha256(fingerprint.encode("utf-8")).hexdigest()
         return self.root / f"{digest[: self.DIGEST_PREFIX]}.json"
 

@@ -17,6 +17,16 @@ input file is validated in full before any verification machinery is built,
 so a typo'd path or malformed line is reported immediately; when ``--output``
 is used the file is written through a tmp file and moved into place, so a
 failure mid-run never leaves a truncated output behind.
+
+By default the whole input is scored as one synchronous batch.  With
+``--batch-size N`` the input is split into batches submitted asynchronously
+through one shared :class:`~repro.serving.scheduler.Dispatcher`
+(``FeedbackService.submit_batch``); ``--max-inflight-batches`` /
+``--max-inflight-jobs`` bound how much *unresolved verification work* may be
+queued on the dispatcher at once — the shape a long-running producer wants.
+(The input file itself is still loaded and validated in full up front, so
+these bounds cap dispatcher queueing, not total process memory.)  Output
+order and scores are identical either way.
 """
 
 from __future__ import annotations
@@ -52,6 +62,17 @@ caching:
                       (least recently written first) until the directory is
                       under N bytes — keeps long-lived cache directories from
                       growing without bound.
+
+streaming:
+  --batch-size N      submit the input as batches of N records through the
+                      service's async API (one shared dispatcher thread)
+                      instead of one blocking score_batch call; scores and
+                      output order are identical
+  --max-inflight-batches N / --max-inflight-jobs N
+                      back-pressure for --batch-size: block submission while
+                      N batches (or jobs) are still unresolved, bounding the
+                      verification work queued on the dispatcher; time spent
+                      blocked is reported in the telemetry line
 """
 
 
@@ -85,6 +106,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="compact the shared cache directory to this many total bytes",
     )
     parser.add_argument("--seed", type=int, default=0, help="seed for empirical trace collection")
+    parser.add_argument(
+        "--batch-size", type=int, default=None,
+        help="submit the input asynchronously in batches of this many records",
+    )
+    parser.add_argument(
+        "--max-inflight-batches", type=int, default=None,
+        help="back-pressure: max unresolved async batches (requires --batch-size)",
+    )
+    parser.add_argument(
+        "--max-inflight-jobs", type=int, default=None,
+        help="back-pressure: max unresolved async jobs (requires --batch-size)",
+    )
     return parser
 
 
@@ -160,7 +193,19 @@ def main(argv=None) -> int:
 
     from repro.core.config import FeedbackConfig
     from repro.driving.specifications import all_specifications, core_specifications
-    from repro.serving import FeedbackJob, FeedbackService, ServingConfig
+    from repro.serving import Dispatcher, FeedbackJob, FeedbackService, ServingConfig
+
+    if args.batch_size is None and (
+        args.max_inflight_batches is not None or args.max_inflight_jobs is not None
+    ):
+        print(
+            "repro-serve: --max-inflight-batches/--max-inflight-jobs require --batch-size",
+            file=sys.stderr,
+        )
+        return 2
+    if args.batch_size is not None and args.batch_size <= 0:
+        print(f"repro-serve: --batch-size must be positive, got {args.batch_size}", file=sys.stderr)
+        return 2
 
     specifications = core_specifications() if args.core_specs else all_specifications()
     try:
@@ -172,24 +217,38 @@ def main(argv=None) -> int:
             shared_cache_dir=str(args.cache_dir) if args.cache_dir else None,
             shared_cache_max_entries=args.cache_max_entries,
             shared_cache_max_bytes=args.cache_max_bytes,
+            max_inflight_batches=args.max_inflight_batches,
+            max_inflight_jobs=args.max_inflight_jobs,
         )
     except ValueError as exc:
         print(f"repro-serve: {exc}", file=sys.stderr)
         return 2
-    # The context manager flushes the cache (and compacts the shared
-    # directory when bounded) on exit, then shuts down the worker pool.
-    with FeedbackService(
-        specifications,
-        feedback=FeedbackConfig(use_empirical=args.mode == "empirical"),
-        config=config,
-        seed=args.seed,
-    ) as service:
-        scores = service.score_batch(
-            [
-                FeedbackJob(task=record["task"], scenario=scenario, response=record["response"])
-                for record, scenario in jobs
-            ]
-        )
+    feedback_jobs = [
+        FeedbackJob(task=record["task"], scenario=scenario, response=record["response"])
+        for record, scenario in jobs
+    ]
+    # The context managers flush the cache (and compact the shared directory
+    # when bounded) on exit, then shut down the dispatch thread / worker pool.
+    with Dispatcher(name="repro-serve") as dispatcher:
+        with FeedbackService(
+            specifications,
+            feedback=FeedbackConfig(use_empirical=args.mode == "empirical"),
+            config=config,
+            seed=args.seed,
+            dispatcher=dispatcher,
+        ) as service:
+            if args.batch_size is None:
+                scores = service.score_batch(feedback_jobs)
+            else:
+                # Stream the input through the async API: submission blocks
+                # under the configured in-flight bounds, capping the
+                # unresolved work queued on the dispatcher.  Batches resolve
+                # in submission order, so concatenation preserves input order.
+                handles = [
+                    service.submit_batch(feedback_jobs[start : start + args.batch_size])
+                    for start in range(0, len(feedback_jobs), args.batch_size)
+                ]
+                scores = [score for handle in handles for score in handle.result()]
 
     write_records(
         ({**record, "scenario": scenario, "score": score} for (record, scenario), score in zip(jobs, scores)),
@@ -202,12 +261,18 @@ def main(argv=None) -> int:
         if telemetry["warm_start_entries"]
         else ""
     )
+    blocked = (
+        f", back-pressure blocked {telemetry['backpressure_waits']}× "
+        f"for {telemetry['backpressure_seconds']:.2f}s"
+        if telemetry["backpressure_waits"]
+        else ""
+    )
     print(
         f"scored {telemetry['jobs']} responses ({telemetry['unique_jobs']} unique) "
         f"in {telemetry['total_seconds']:.2f}s — "
         f"{telemetry['throughput']:.1f} responses/s, "
         f"hit rate {telemetry['hit_rate']:.0%}, dedup rate {telemetry['dedup_rate']:.0%}"
-        f"{warm}",
+        f"{warm}{blocked}",
         file=sys.stderr,
     )
     return 0

@@ -56,6 +56,25 @@ class ServingConfig:
         recently written first, until the directory fits.  Composes with
         ``shared_cache_max_entries`` (entries are trimmed before shards are
         evicted); either, both or neither may be set.
+    max_inflight_batches:
+        Optional back-pressure bound on asynchronous submission: when this
+        many batches submitted via
+        :meth:`~repro.serving.scheduler.FeedbackService.submit_batch` are
+        still unresolved, further ``submit_batch`` calls *block* (and
+        ``score_batch_async`` awaits) until the dispatcher drains below the
+        bound.  Keeps a producer that samples much faster than verification
+        from queueing unbounded work (and the memory that holds it).  The
+        time producers spend blocked is recorded as
+        ``ServingMetrics.backpressure_seconds``.  ``None`` (default) imposes
+        no bound.  A batch is always admitted when nothing is in flight, so a
+        single batch can never deadlock against the bound.
+    max_inflight_jobs:
+        Optional back-pressure bound counted in *jobs* rather than batches,
+        for producers with uneven batch sizes.  A submission blocks while the
+        jobs already in flight plus its own would exceed the bound (unless
+        nothing is in flight — an oversized single batch is admitted rather
+        than deadlocked).  Composes with ``max_inflight_batches``; either,
+        both or neither may be set.
     """
 
     enabled: bool = True
@@ -66,6 +85,8 @@ class ServingConfig:
     shared_cache_dir: str | None = None
     shared_cache_max_entries: int | None = None
     shared_cache_max_bytes: int | None = None
+    max_inflight_batches: int | None = None
+    max_inflight_jobs: int | None = None
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -91,3 +112,9 @@ class ServingConfig:
             raise ValueError(
                 "shared_cache_max_entries/shared_cache_max_bytes require shared_cache_dir"
             )
+        if self.max_inflight_batches is not None and self.max_inflight_batches <= 0:
+            raise ValueError(
+                f"max_inflight_batches must be positive, got {self.max_inflight_batches}"
+            )
+        if self.max_inflight_jobs is not None and self.max_inflight_jobs <= 0:
+            raise ValueError(f"max_inflight_jobs must be positive, got {self.max_inflight_jobs}")

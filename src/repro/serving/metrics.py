@@ -22,6 +22,8 @@ class ServingMetrics:
     cache_misses: int = 0          # unique jobs that required verification
     uncached_jobs: int = 0         # jobs scored with serving disabled (no cache lookups)
     warm_start_entries: int = 0    # entries retained from a shared cache directory
+    backpressure_waits: int = 0    # submit_batch calls that blocked on the in-flight bound
+    backpressure_seconds: float = 0.0  # producer time spent blocked by back-pressure
     total_seconds: float = 0.0
 
     # ------------------------------------------------------------------ #
@@ -42,6 +44,18 @@ class ServingMetrics:
         self.cache_misses += misses
         self.uncached_jobs += uncached
         self.total_seconds += seconds
+
+    def record_backpressure(self, seconds: float) -> None:
+        """Fold one blocked ``submit_batch`` admission into the totals.
+
+        ``seconds`` is how long the producer waited for the in-flight bound
+        (``ServingConfig.max_inflight_batches`` / ``max_inflight_jobs``) to
+        drain before its batch was admitted.  Persistent growth here means
+        verification, not sampling, is the pipeline's bottleneck — add
+        workers or loosen the bound.
+        """
+        self.backpressure_waits += 1
+        self.backpressure_seconds += seconds
 
     # ------------------------------------------------------------------ #
     @property
@@ -76,6 +90,8 @@ class ServingMetrics:
             "cache_misses": self.cache_misses,
             "uncached_jobs": self.uncached_jobs,
             "warm_start_entries": self.warm_start_entries,
+            "backpressure_waits": self.backpressure_waits,
+            "backpressure_seconds": self.backpressure_seconds,
             "total_seconds": self.total_seconds,
             "hit_rate": self.hit_rate,
             "dedup_rate": self.dedup_rate,
@@ -86,4 +102,5 @@ class ServingMetrics:
     def reset(self) -> None:
         self.batches = self.jobs = self.unique_jobs = 0
         self.cache_hits = self.cache_misses = self.uncached_jobs = self.warm_start_entries = 0
-        self.total_seconds = 0.0
+        self.backpressure_waits = 0
+        self.backpressure_seconds = self.total_seconds = 0.0

@@ -28,15 +28,32 @@ Two submission styles share one execution path:
   sequential ``score_batch`` calls — async scores are bitwise-identical to
   the synchronous ones.
 
+Asynchronous submission is *bounded*: ``ServingConfig.max_inflight_batches``
+/ ``max_inflight_jobs`` apply back-pressure, blocking ``submit_batch`` (and
+suspending ``score_batch_async``) while too much submitted work is still
+unresolved, so a producer far ahead of verification cannot queue unbounded
+batches.  Producer time spent blocked is recorded on
+:class:`~repro.serving.metrics.ServingMetrics` as ``backpressure_seconds``.
+
+The dispatcher thread itself is a first-class object: a :class:`Dispatcher`
+can be shared by several services (pass it to the :class:`FeedbackService`
+constructor), serialising all their batches on one thread so the CLI or the
+pipeline can serve multiple task streams without spawning a thread per
+service.  A service constructed without one lazily creates — and owns — a
+private dispatcher.
+
 A service owns OS resources once the async or process paths are used
 (dispatcher thread, worker processes); release them with
 :meth:`FeedbackService.close` or by using the service as a context manager.
+A *shared* dispatcher outlives the services registered with it and is closed
+by whoever constructed it.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+import weakref
 from concurrent.futures import Future, ThreadPoolExecutor
 from concurrent.futures import as_completed as _futures_as_completed
 from dataclasses import dataclass
@@ -89,9 +106,11 @@ class PendingBatch:
         return self._future.result(timeout)
 
     def exception(self, timeout: float | None = None):
+        """The exception the batch raised, or None once it scored cleanly."""
         return self._future.exception(timeout)
 
     def done(self) -> bool:
+        """Whether the batch has resolved (scored or failed); never blocks."""
         return self._future.done()
 
     def __len__(self) -> int:
@@ -109,6 +128,110 @@ def as_completed(batches: Iterable[PendingBatch], timeout: float | None = None) 
     by_future = {batch._future: batch for batch in batches}
     for future in _futures_as_completed(by_future, timeout=timeout):
         yield by_future[future]
+
+
+class Dispatcher:
+    """A single-threaded batch executor one or more services submit through.
+
+    Every asynchronous batch a :class:`FeedbackService` accepts runs on a
+    dispatcher: one worker thread executing batches strictly in submission
+    order, which is what keeps async scores bitwise-identical to sequential
+    ``score_batch`` calls.  A service constructed without a dispatcher lazily
+    creates a private one; constructing a ``Dispatcher`` explicitly and
+    passing it to several services *shares* that thread between them::
+
+        with Dispatcher() as dispatcher:
+            formal = FeedbackService(specs, dispatcher=dispatcher)
+            empirical = FeedbackService(specs, feedback=empirical_cfg,
+                                        dispatcher=dispatcher)
+            handles = [formal.submit_batch(a), empirical.submit_batch(b)]
+
+    Sharing serialises batches *across* services too (one thread), so two
+    services over one dispatcher still each see their own batches execute in
+    their own submission order.  Each service keeps its own cache, worker
+    pool and telemetry — only the submission thread is shared.
+
+    Lifecycle: services :meth:`register` on construction and
+    :meth:`unregister` when closed; closing a service never tears down a
+    shared dispatcher (it drains only its own in-flight batches).  The owner
+    — whoever constructed the dispatcher — releases the thread with
+    :meth:`close` or a ``with`` block.  ``close()`` waits for everything
+    already submitted, then rejects new submissions with ``RuntimeError``.
+    """
+
+    def __init__(self, *, name: str = "feedback-dispatch"):
+        self.name = name
+        self._lock = threading.Lock()
+        self._executor: ThreadPoolExecutor | None = None
+        # Weak references: a service dropped without close() falls out of the
+        # registry on GC instead of leaving a stale entry (or, with id()
+        # keys, aliasing a later allocation at the same address).
+        self._services: weakref.WeakSet = weakref.WeakSet()
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    def register(self, service) -> None:
+        """Record ``service`` as a user of this dispatcher."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("register on a closed Dispatcher")
+            self._services.add(service)
+
+    def unregister(self, service) -> None:
+        """Forget ``service``; the dispatcher keeps running for the others."""
+        with self._lock:
+            self._services.discard(service)
+
+    @property
+    def active_services(self) -> int:
+        """How many registered services are currently using this dispatcher."""
+        with self._lock:
+            return len(self._services)
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run; a closed dispatcher rejects submits."""
+        with self._lock:
+            return self._closed
+
+    # ------------------------------------------------------------------ #
+    def submit(self, fn, *args) -> Future:
+        """Queue ``fn(*args)`` on the dispatch thread; returns its future.
+
+        The worker thread is started lazily on the first submission, so a
+        dispatcher that is constructed but never used costs nothing.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("submit on a closed Dispatcher")
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=1, thread_name_prefix=self.name
+                )
+            return self._executor.submit(fn, *args)
+
+    # ------------------------------------------------------------------ #
+    def close(self, *, wait: bool = True) -> None:
+        """Drain submitted batches (when ``wait``) and stop the thread.
+
+        Idempotent.  After ``close()`` every ``submit`` — from any service —
+        raises ``RuntimeError``; services themselves remain usable through
+        their synchronous ``score_batch`` path.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            executor, self._executor = self._executor, None
+            self._services.clear()
+        if executor is not None:
+            executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "Dispatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 class FeedbackService:
@@ -136,6 +259,12 @@ class FeedbackService:
         Optional pre-built :class:`FormalVerifier` to share (e.g. with a
         pipeline that also exposes one); constructed from ``feedback``
         otherwise.
+    dispatcher:
+        Optional shared :class:`Dispatcher` to run asynchronous submissions
+        on.  When omitted the service lazily creates a private dispatcher and
+        closes it with the service; a supplied dispatcher is *borrowed* —
+        ``close()`` drains this service's in-flight batches and unregisters,
+        leaving the dispatcher running for its other services.
     """
 
     def __init__(
@@ -147,6 +276,7 @@ class FeedbackService:
         seed: int = 0,
         model_builder=None,
         verifier: FormalVerifier | None = None,
+        dispatcher: Dispatcher | None = None,
     ):
         if feedback is None:
             from repro.core.config import FeedbackConfig  # deferred: core sits above serving
@@ -204,17 +334,29 @@ class FeedbackService:
         self._digests: dict = {}
         # One persistent process pool per service lifetime (forked lazily on
         # the first large miss batch, reused for every batch after that) and
-        # one dispatcher thread for async submissions.  The lock serialises
-        # score_batch bodies so direct calls and dispatcher-thread calls can
-        # interleave without racing the cache or the metrics.
+        # one dispatcher for async submissions — private by default, shared
+        # when the caller passed one in.  The lock serialises score_batch
+        # bodies so direct calls and dispatcher-thread calls can interleave
+        # without racing the cache or the metrics.
         self._pool: WorkerPool | None = None
-        self._dispatcher: ThreadPoolExecutor | None = None
+        self._dispatcher: Dispatcher | None = dispatcher
+        self._owns_dispatcher = dispatcher is None
+        if dispatcher is not None:
+            dispatcher.register(self)
         self._batch_lock = threading.Lock()
         # Guards lazy dispatcher creation and the closed flag, so concurrent
         # submit_batch callers share one dispatcher (order determinism) and
         # submit can never race past close() into a shut-down executor.
         self._submit_lock = threading.Lock()
         self._closed = False
+        # Back-pressure bookkeeping: batches/jobs submitted asynchronously
+        # and not yet resolved.  The condition's lock guards the two counters
+        # and the backpressure metrics; waiters block here (never holding
+        # _submit_lock) until completions drain the dispatcher below the
+        # configured in-flight bounds.
+        self._inflight = threading.Condition()
+        self._inflight_batches = 0
+        self._inflight_jobs = 0
 
     def _initial_cache(self) -> FeedbackCache:
         cache = None
@@ -372,25 +514,78 @@ class FeedbackService:
     # ------------------------------------------------------------------ #
     # Asynchronous submission
     # ------------------------------------------------------------------ #
-    def submit_batch(self, jobs: Sequence[FeedbackJob]) -> PendingBatch:
-        """Queue ``jobs`` for scoring and return a :class:`PendingBatch` immediately.
+    def _over_inflight_bound(self, num_jobs: int) -> bool:
+        """Whether admitting ``num_jobs`` more would exceed the configured bound.
 
-        Batches are executed in submission order on a single dispatcher
-        thread, so interleaved ``submit_batch`` / ``score_batch`` calls see
-        the cache evolve exactly as sequential ``score_batch`` calls would —
-        the handle's ``result()`` is bitwise-identical to the synchronous
-        score list.  The producer is free to keep sampling (the pipeline
-        samples task *k+1* while task *k* verifies here).
+        Called with ``self._inflight``'s lock held.  An idle dispatcher
+        (nothing in flight) always admits — even a batch larger than
+        ``max_inflight_jobs`` — so back-pressure can delay work but never
+        deadlock it.
+        """
+        if self._inflight_batches == 0:
+            return False
+        max_batches = self.config.max_inflight_batches
+        if max_batches is not None and self._inflight_batches >= max_batches:
+            return True
+        max_jobs = self.config.max_inflight_jobs
+        return max_jobs is not None and self._inflight_jobs + num_jobs > max_jobs
+
+    def _admit(self, num_jobs: int) -> None:
+        """Block until the in-flight bounds allow one more batch, then count it."""
+        with self._inflight:
+            blocked_since = None
+            while self._over_inflight_bound(num_jobs):
+                if blocked_since is None:
+                    blocked_since = time.perf_counter()
+                self._inflight.wait()
+            if blocked_since is not None:
+                self.metrics.record_backpressure(time.perf_counter() - blocked_since)
+            self._inflight_batches += 1
+            self._inflight_jobs += num_jobs
+
+    def _release(self, num_jobs: int) -> None:
+        """Uncount one resolved (or never-submitted) batch and wake waiters."""
+        with self._inflight:
+            self._inflight_batches -= 1
+            self._inflight_jobs -= num_jobs
+            self._inflight.notify_all()
+
+    def submit_batch(self, jobs: Sequence[FeedbackJob]) -> PendingBatch:
+        """Queue ``jobs`` for scoring and return a :class:`PendingBatch`.
+
+        Batches are executed in submission order on the service's
+        :class:`Dispatcher` (a single thread, possibly shared with other
+        services), so interleaved ``submit_batch`` / ``score_batch`` calls
+        see the cache evolve exactly as sequential ``score_batch`` calls
+        would — the handle's ``result()`` is bitwise-identical to the
+        synchronous score list.  The producer is free to keep sampling (the
+        pipeline samples task *k+1* while task *k* verifies here).
+
+        When ``ServingConfig.max_inflight_batches`` / ``max_inflight_jobs``
+        are set this call *blocks* while the dispatcher holds that much
+        unresolved work, releasing the producer only as completions drain the
+        queue — back-pressure for producers far ahead of verification.  Time
+        spent blocked is recorded via
+        :meth:`ServingMetrics.record_backpressure
+        <repro.serving.metrics.ServingMetrics.record_backpressure>`.
         """
         jobs = list(jobs)
-        with self._submit_lock:
-            if self._closed:
-                raise RuntimeError("submit_batch on a closed FeedbackService")
-            if self._dispatcher is None:
-                self._dispatcher = ThreadPoolExecutor(
-                    max_workers=1, thread_name_prefix="feedback-dispatch"
-                )
-            return PendingBatch(jobs, self._dispatcher.submit(self.score_batch, jobs))
+        self._admit(len(jobs))
+        try:
+            with self._submit_lock:
+                if self._closed:
+                    raise RuntimeError("submit_batch on a closed FeedbackService")
+                if self._dispatcher is None:
+                    self._dispatcher = Dispatcher()
+                    self._dispatcher.register(self)
+                future = self._dispatcher.submit(self.score_batch, jobs)
+        except BaseException:
+            # The batch never reached the dispatcher; give its slot back so a
+            # failed submission cannot wedge the in-flight accounting.
+            self._release(len(jobs))
+            raise
+        future.add_done_callback(lambda _future: self._release(len(jobs)))
+        return PendingBatch(jobs, future)
 
     def submit_responses(self, task, responses: Iterable[str]) -> PendingBatch:
         """Async counterpart of :meth:`score_responses`."""
@@ -402,11 +597,23 @@ class FeedbackService:
         """``asyncio`` adapter over :meth:`submit_batch`.
 
         Awaitable from any running event loop; verification happens on the
-        dispatcher thread / worker pool, so the loop stays responsive.
+        dispatcher thread / worker pool, so the loop stays responsive.  Under
+        back-pressure (``max_inflight_batches`` / ``max_inflight_jobs``) the
+        blocking admission runs on a helper thread, so this coroutine
+        *yields* to the event loop instead of stalling it while the
+        dispatcher drains.
         """
         import asyncio
 
-        return await asyncio.wrap_future(self.submit_batch(jobs)._future)
+        jobs = list(jobs)
+        if self.config.max_inflight_batches is None and self.config.max_inflight_jobs is None:
+            # Unbounded: submission is pure queueing and cannot block, so
+            # skip the executor hop and submit inline.
+            handle = self.submit_batch(jobs)
+        else:
+            loop = asyncio.get_running_loop()
+            handle = await loop.run_in_executor(None, self.submit_batch, jobs)
+        return await asyncio.wrap_future(handle._future)
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -414,9 +621,11 @@ class FeedbackService:
     def close(self, *, flush: bool = True) -> None:
         """Drain pending async batches and release threads/worker processes.
 
-        Waits for every batch already submitted, optionally flushes the cache
-        to its configured destinations, then shuts down the dispatcher thread
-        and the persistent process pool.  Idempotent; after ``close()`` the
+        Waits for every batch this service already submitted, optionally
+        flushes the cache to its configured destinations, then shuts down the
+        dispatcher (if this service owns it — a *shared* dispatcher is only
+        unregistered from, and keeps serving its other services) and the
+        persistent process pool.  Idempotent; after ``close()`` the
         synchronous ``score_batch`` path still works (the process backend
         degrades to serial scoring) but ``submit_batch`` raises.
         """
@@ -425,8 +634,18 @@ class FeedbackService:
                 return
             self._closed = True
             dispatcher, self._dispatcher = self._dispatcher, None
+            owned = self._owns_dispatcher
         if dispatcher is not None:
-            dispatcher.shutdown(wait=True)
+            if owned:
+                dispatcher.close(wait=True)
+            else:
+                # Drain only this service's batches — the in-flight counter
+                # falls to zero exactly when the last one resolves — and
+                # leave the shared dispatcher running for its other users.
+                with self._inflight:
+                    while self._inflight_batches > 0:
+                        self._inflight.wait()
+                dispatcher.unregister(self)
         # Serialise against any in-flight synchronous score_batch: flushing
         # while a batch mutates the cache, or closing the pool under a
         # running pool.map, would corrupt the flush or crash the batch.

@@ -80,6 +80,70 @@ class TestEmpiricalFeedback:
         assert feedback.satisfaction["phi_5"] >= 0.9   # compliant controller respects Φ5 in simulation
 
 
+class TestRankerOrderIndependence:
+    """rank_to_pairs output must be a pure function of the (response, score)
+    multiset — the property streaming pair construction relies on."""
+
+    RESPONSES = [
+        "1. Stop at the line.",
+        "2. Yield to traffic.",
+        "3. Merge when clear.",
+        "4. Signal before turning.",
+        "5. Check the mirror.",
+        "1. Stop at the line.",  # duplicate response, duplicate score
+    ]
+    SCORES = [3, 1, 4, 1, 5, 3]
+
+    def test_permutation_invariance_property(self):
+        """Property test: the pair *list* (content and order) is identical
+        under random permutations of the input."""
+        import random
+
+        reference = rank_to_pairs("p", self.RESPONSES, self.SCORES, task="t")
+        assert reference  # non-trivial workload
+        rng = random.Random(20260728)
+        indices = list(range(len(self.RESPONSES)))
+        for _ in range(100):
+            rng.shuffle(indices)
+            permuted = rank_to_pairs(
+                "p",
+                [self.RESPONSES[i] for i in indices],
+                [self.SCORES[i] for i in indices],
+                task="t",
+            )
+            assert permuted == reference
+
+    def test_reversal_and_identity_agree(self):
+        forward = rank_to_pairs("p", self.RESPONSES, self.SCORES)
+        backward = rank_to_pairs("p", self.RESPONSES[::-1], self.SCORES[::-1])
+        assert forward == backward
+
+    def test_canonical_ranking_orders_by_score_then_fingerprint(self):
+        from repro.feedback import canonical_ranking, response_fingerprint
+
+        responses = ["b", "a", "c"]
+        scores = [1, 2, 1]
+        ranking = canonical_ranking(responses, scores)
+        assert ranking[0] == 1  # highest score first
+        tied = sorted(["b", "c"], key=response_fingerprint)
+        assert [responses[i] for i in ranking[1:]] == tied
+
+    def test_response_fingerprint_is_content_addressed(self):
+        from repro.feedback import response_fingerprint
+
+        assert response_fingerprint("x") == response_fingerprint("x")
+        assert response_fingerprint("x") != response_fingerprint("y")
+        assert len(response_fingerprint("x")) == 64  # sha256 hex
+
+    def test_pairs_enumerate_canonical_order(self):
+        """First pair is best-vs-next, pairs walk the ranking — deterministic
+        regardless of how the caller ordered the inputs."""
+        pairs = rank_to_pairs("p", ["low", "high", "mid"], [1, 9, 5])
+        assert (pairs[0].chosen, pairs[0].rejected) == ("high", "mid")
+        assert (pairs[1].chosen, pairs[1].rejected) == ("high", "low")
+        assert (pairs[2].chosen, pairs[2].rejected) == ("mid", "low")
+
+
 class TestRanker:
     def test_rank_to_pairs_orientation(self):
         pairs = rank_to_pairs("prompt", ["worse", "better"], [3, 10], task="t")

@@ -407,6 +407,47 @@ class TestCli:
         err = capsys.readouterr().err
         assert "hit rate 100%" in err and "warm-started" in err
 
+    def _streaming_workload(self, tmp_path):
+        import json
+
+        from repro.driving import response_templates
+
+        records = []
+        for name in ("enter_roundabout", "turn_right_traffic_light"):
+            for index, response in enumerate(response_templates(name, "compliant")):
+                records.append({"task": name, "response": response, "id": f"{name}/{index}"})
+        jsonl = tmp_path / "in.jsonl"
+        jsonl.write_text("".join(json.dumps(record) + "\n" for record in records))
+        return jsonl, records
+
+    def test_batch_size_streaming_matches_single_batch_output(self, tmp_path, capsys):
+        """--batch-size submits through the async dispatcher; the output must
+        be byte-identical to the default single score_batch call."""
+        from repro.serving.cli import main
+
+        jsonl, _ = self._streaming_workload(tmp_path)
+        blocking_out = tmp_path / "blocking.jsonl"
+        streaming_out = tmp_path / "streaming.jsonl"
+        base = [str(jsonl), "--core-specs", "--backend", "serial"]
+        assert main(base + ["-o", str(blocking_out)]) == 0
+        assert (
+            main(
+                base
+                + ["-o", str(streaming_out), "--batch-size", "3", "--max-inflight-batches", "2"]
+            )
+            == 0
+        )
+        assert streaming_out.read_text() == blocking_out.read_text()
+
+    def test_inflight_flags_require_batch_size(self, tmp_path, capsys):
+        from repro.serving.cli import main
+
+        jsonl, _ = self._streaming_workload(tmp_path)
+        assert main([str(jsonl), "--max-inflight-batches", "2"]) == 2
+        assert "require --batch-size" in capsys.readouterr().err
+        assert main([str(jsonl), "--batch-size", "0"]) == 2
+        assert "--batch-size must be positive" in capsys.readouterr().err
+
 
 class TestJobLevelApi:
     def test_score_batch_mixed_scenarios(self):

@@ -1,0 +1,330 @@
+"""Streaming pair construction, submit_batch back-pressure, shared Dispatcher.
+
+The contracts under test:
+
+* pairs built from ``as_completed`` streaming are identical — same pair list,
+  bitwise-identical scores — to pairs built from the blocking ``score_batch``
+  path, on every backend (possible because ``rank_to_pairs`` is
+  order-independent);
+* ``submit_batch`` blocks at ``ServingConfig.max_inflight_batches`` /
+  ``max_inflight_jobs`` and unblocks as the dispatcher drains, with the
+  blocked time telemetered;
+* one :class:`Dispatcher` can serve several :class:`FeedbackService`
+  instances, and closing a service never tears down a shared dispatcher.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.config import FeedbackConfig
+from repro.driving import core_specifications, response_templates, task_by_name
+from repro.feedback import rank_to_pairs
+from repro.lm import format_prompt
+from repro.serving import (
+    Dispatcher,
+    FeedbackJob,
+    FeedbackService,
+    ServingConfig,
+    as_completed,
+)
+
+TASK_NAMES = ("turn_right_traffic_light", "enter_roundabout", "merge_onto_highway")
+
+
+def _service(backend: str = "serial", dispatcher=None, **config_kwargs) -> FeedbackService:
+    return FeedbackService(
+        core_specifications(),
+        feedback=FeedbackConfig(),
+        config=ServingConfig(backend=backend, max_workers=2, **config_kwargs),
+        seed=0,
+        dispatcher=dispatcher,
+    )
+
+
+def _reference_scores(jobs) -> list:
+    return FeedbackService(
+        core_specifications(), feedback=FeedbackConfig(), seed=0, config=ServingConfig(enabled=False)
+    ).score_batch(jobs)
+
+
+def _task_batches() -> list:
+    """``(task, responses)`` per task — the shape pair collection submits."""
+    batches = []
+    for name in TASK_NAMES:
+        task = task_by_name(name)
+        responses = list(response_templates(name, "compliant"))
+        responses += list(response_templates(name, "flawed"))[:2]
+        batches.append((task, responses))
+    return batches
+
+
+def _distinct_miss_batches(count: int, size: int = 3) -> list:
+    """``count`` batches of canonically distinct, parseable responses.
+
+    Every response is unique across all batches, so each batch is pure cache
+    misses — each must actually reach the (gateable) scorer.
+    """
+    task = task_by_name("enter_roundabout")
+    base = response_templates(task.name, "compliant")[0].rstrip("\n")
+    steps = len(base.splitlines())
+    batches, counter = [], 0
+    for _ in range(count):
+        jobs = []
+        for _ in range(size):
+            suffix = "".join(
+                f"\n{steps + 1 + extra}. If there is a pedestrian, stop."
+                for extra in range(counter + 1)
+            )
+            counter += 1
+            jobs.append(FeedbackJob(task=task.name, scenario=task.scenario, response=base + suffix))
+        batches.append(jobs)
+    return batches
+
+
+class GatedScorer:
+    """Wraps a service's scorer so verification blocks until the test allows it."""
+
+    def __init__(self, service):
+        self.gate = threading.Event()
+        self._original = service._scorer.score
+        service._scorer.score = self._gated
+
+    def _gated(self, *args, **kwargs):
+        assert self.gate.wait(timeout=30), "test never opened the scoring gate"
+        return self._original(*args, **kwargs)
+
+
+class TestStreamingPairConstruction:
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_streamed_pairs_match_blocking_pairs(self, backend):
+        """Acceptance: as_completed streaming yields the same pair lists —
+        same pair set, bitwise-identical scores — as the blocking path."""
+        batches = _task_batches()
+
+        blocking = []
+        with _service(backend) as sync:
+            for task, responses in batches:
+                scores = sync.score_responses(task, responses)
+                blocking.append(
+                    rank_to_pairs(format_prompt(task), responses, scores, task=task.name)
+                )
+
+        with _service(backend) as service:
+            pending = [
+                (task, responses, service.submit_responses(task, responses))
+                for task, responses in batches
+            ]
+            index_of = {handle: i for i, (_, _, handle) in enumerate(pending)}
+            streamed: list = [None] * len(pending)
+            for handle in as_completed([handle for _, _, handle in pending]):
+                i = index_of[handle]
+                task, responses, _ = pending[i]
+                streamed[i] = rank_to_pairs(
+                    format_prompt(task), responses, handle.result(), task=task.name
+                )
+
+        assert streamed == blocking, backend
+
+    def test_pipeline_streaming_matches_task_order_assembly(self):
+        """collect_preference_pairs streams completions yet must return the
+        same list a task-ordered drain would have produced."""
+        from repro.core import DPOAFPipeline
+        from repro.core.config import quick_pipeline_config
+        from repro.driving import training_tasks
+
+        with DPOAFPipeline(
+            quick_pipeline_config(seed=0),
+            specifications=core_specifications(),
+            tasks=training_tasks()[:2],
+            validation=(),
+        ) as pipeline:
+            augmented = pipeline.augment_with_templates([], per_task=3)
+            # Reference: the same template workload drained strictly in task
+            # order through the synchronous API.
+            expected = []
+            from repro.driving.responses import VAGUE_RESPONSES, response_templates as templates
+
+            for task in pipeline.tasks:
+                prompt = format_prompt(task)
+                candidates = (
+                    list(templates(task.name, "compliant"))
+                    + list(templates(task.name, "flawed"))[:2]
+                    + [VAGUE_RESPONSES[0]]
+                )
+                scores = pipeline.serving.score_responses(task, candidates)
+                expected.extend(rank_to_pairs(prompt, candidates, scores, task=task.name)[:3])
+        assert augmented == expected
+
+
+class TestBackPressure:
+    def test_submit_blocks_at_max_inflight_batches_and_unblocks_on_drain(self):
+        """Acceptance: submit_batch provably blocks at the configured bound."""
+        batches = _distinct_miss_batches(3)
+        service = _service("serial", max_inflight_batches=2)
+        gated = GatedScorer(service)
+        try:
+            first = service.submit_batch(batches[0])
+            second = service.submit_batch(batches[1])
+
+            blocked_handle: dict = {}
+
+            def third_submission():
+                blocked_handle["handle"] = service.submit_batch(batches[2])
+
+            producer = threading.Thread(target=third_submission, daemon=True)
+            producer.start()
+            producer.join(timeout=1.0)
+            # Two batches are in flight and verification is gated shut, so
+            # the third submission must still be blocked in _admit.
+            assert producer.is_alive(), "submit_batch did not block at max_inflight_batches"
+            assert "handle" not in blocked_handle
+
+            gated.gate.set()  # drain: completions release the bound
+            producer.join(timeout=30)
+            assert not producer.is_alive(), "submit_batch never unblocked after the drain"
+            assert blocked_handle["handle"].result() == _reference_scores(batches[2])
+            assert first.result() == _reference_scores(batches[0])
+            assert second.result() == _reference_scores(batches[1])
+            assert service.metrics.backpressure_waits >= 1
+            assert service.metrics.backpressure_seconds > 0
+        finally:
+            gated.gate.set()
+            service.close()
+
+    def test_max_inflight_jobs_blocks_job_heavy_producers(self):
+        batches = _distinct_miss_batches(2, size=4)
+        service = _service("serial", max_inflight_jobs=4)
+        gated = GatedScorer(service)
+        try:
+            service.submit_batch(batches[0])  # 4 jobs: fills the bound
+
+            def second_submission():
+                service.submit_batch(batches[1])
+
+            producer = threading.Thread(target=second_submission, daemon=True)
+            producer.start()
+            producer.join(timeout=1.0)
+            assert producer.is_alive(), "submit_batch did not block at max_inflight_jobs"
+            gated.gate.set()
+            producer.join(timeout=30)
+            assert not producer.is_alive()
+        finally:
+            gated.gate.set()
+            service.close()
+
+    def test_oversized_batch_is_admitted_when_idle(self):
+        """A batch larger than max_inflight_jobs must run (delayed, never
+        deadlocked) once nothing is in flight."""
+        jobs = [job for batch in _distinct_miss_batches(2) for job in batch]
+        with _service("serial", max_inflight_jobs=2) as service:
+            handle = service.submit_batch(jobs)  # len(jobs) > 2; must not block
+            assert handle.result() == _reference_scores(jobs)
+
+    def test_unbounded_submission_records_no_backpressure(self):
+        batches = _distinct_miss_batches(3)
+        with _service("serial") as service:
+            handles = [service.submit_batch(batch) for batch in batches]
+            for handle in handles:
+                handle.result()
+            assert service.metrics.backpressure_waits == 0
+            assert service.metrics.backpressure_seconds == 0.0
+            snapshot = service.metrics.snapshot()
+        assert snapshot["backpressure_waits"] == 0
+        assert "backpressure_seconds" in snapshot
+
+    def test_bounded_scores_match_unbounded_scores(self):
+        batches = _distinct_miss_batches(4)
+        expected = [_reference_scores(batch) for batch in batches]
+        with _service("serial", max_inflight_batches=1) as service:
+            results = [service.submit_batch(batch).result() for batch in batches]
+        assert results == expected
+
+    def test_config_rejects_nonpositive_bounds(self):
+        with pytest.raises(ValueError):
+            ServingConfig(max_inflight_batches=0)
+        with pytest.raises(ValueError):
+            ServingConfig(max_inflight_jobs=-1)
+
+    def test_score_batch_async_respects_backpressure(self):
+        """The asyncio adapter must yield, not wedge the loop, while blocked."""
+        import asyncio
+
+        batches = _distinct_miss_batches(3)
+        expected = [_reference_scores(batch) for batch in batches]
+        with _service("serial", max_inflight_batches=1) as service:
+
+            async def run():
+                return await asyncio.gather(
+                    *(service.score_batch_async(batch) for batch in batches)
+                )
+
+            results = asyncio.run(run())
+        assert sorted(map(tuple, results)) == sorted(map(tuple, expected))
+
+
+class TestSharedDispatcher:
+    def test_two_services_share_one_dispatcher(self):
+        batches = _task_batches()
+        with Dispatcher() as dispatcher:
+            first = _service("serial", dispatcher=dispatcher)
+            second = _service("serial", dispatcher=dispatcher)
+            assert dispatcher.active_services == 2
+
+            task_a, responses_a = batches[0]
+            task_b, responses_b = batches[1]
+            handle_a = first.submit_responses(task_a, responses_a)
+            handle_b = second.submit_responses(task_b, responses_b)
+            jobs_a = [
+                FeedbackJob(task=task_a.name, scenario=task_a.scenario, response=r)
+                for r in responses_a
+            ]
+            jobs_b = [
+                FeedbackJob(task=task_b.name, scenario=task_b.scenario, response=r)
+                for r in responses_b
+            ]
+            assert handle_a.result() == _reference_scores(jobs_a)
+            assert handle_b.result() == _reference_scores(jobs_b)
+
+            # Closing one service drains only its own work; the dispatcher
+            # keeps serving the other.
+            first.close()
+            assert dispatcher.active_services == 1
+            again = second.submit_responses(task_b, responses_b)
+            assert again.result() == _reference_scores(jobs_b)
+            second.close()
+            assert dispatcher.active_services == 0
+        assert dispatcher.closed
+
+    def test_closed_dispatcher_rejects_submissions_and_registration(self):
+        dispatcher = Dispatcher()
+        dispatcher.close()
+        with pytest.raises(RuntimeError):
+            dispatcher.submit(lambda: None)
+        with pytest.raises(RuntimeError):
+            _service("serial", dispatcher=dispatcher)
+
+    def test_private_dispatcher_closes_with_its_service(self):
+        service = _service("serial")
+        handle = service.submit_batch(_distinct_miss_batches(1)[0])
+        dispatcher = service._dispatcher
+        assert dispatcher is not None and service._owns_dispatcher
+        service.close()
+        assert handle.done()
+        assert dispatcher.closed
+
+    def test_pipeline_shares_its_dispatcher_with_the_service(self):
+        from repro.core import DPOAFPipeline
+        from repro.core.config import quick_pipeline_config
+        from repro.driving import training_tasks
+
+        with DPOAFPipeline(
+            quick_pipeline_config(seed=0),
+            specifications=core_specifications(),
+            tasks=training_tasks()[:1],
+            validation=(),
+        ) as pipeline:
+            assert pipeline.serving._dispatcher is pipeline.dispatcher
+            assert pipeline.dispatcher.active_services == 1
+            assert pipeline.augment_with_templates([], per_task=2)
+        assert pipeline.dispatcher.closed
