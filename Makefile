@@ -1,0 +1,23 @@
+# Convenience targets matching the ROADMAP's canonical commands.
+#
+#   make tier1            fast unit/integration suite (what CI gates on)
+#   make bench            paper-figure + serving benchmarks (CPU-minutes);
+#                         multicore-marked speedup assertions are excluded —
+#                         they also auto-skip on single-core hosts via
+#                         benchmarks/conftest.py
+#   make bench-multicore  only the multicore speedup assertions (needs >= 2
+#                         CPU cores; they skip themselves otherwise)
+
+PYTHON ?= python
+PYTEST := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) $(PYTHON) -m pytest
+
+.PHONY: tier1 bench bench-multicore
+
+tier1:
+	$(PYTEST) -x -q
+
+bench:
+	$(PYTEST) benchmarks -q -s -m "not multicore"
+
+bench-multicore:
+	$(PYTEST) benchmarks -q -s -m multicore

@@ -26,7 +26,14 @@ The pipeline wires every substrate together:
    construction with the verification of later batches, while the final
    pair list is assembled in task order so it is bitwise-identical to the
    blocking path (``rank_to_pairs`` itself is order-independent) — then run
-   *DPO with LoRA*;
+   *DPO with LoRA*.  With ``PipelineConfig.stream_training=True`` this whole
+   step becomes a staged producer/consumer pipeline (``collect → augment →
+   encode → train``, see :meth:`DPOAFPipeline._run_streaming` and
+   ``docs/pipeline.md``): pairs cross a
+   :class:`~repro.dpo.stream.PairStream` into an incremental
+   :class:`~repro.dpo.stream.DPODatasetWriter`, and epoch-1 mini-batching
+   starts once ``stream_warmup_fraction`` of the tasks have verified —
+   before the slowest task's verification has finished;
 5. *evaluate* checkpoints by re-sampling responses and counting satisfied
    specifications on the training and validation task splits (Figure 9) and
    in the simulator (Figure 11).
@@ -35,12 +42,15 @@ The pipeline wires every substrate together:
 from __future__ import annotations
 
 import dataclasses
+import threading
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.config import FeedbackConfig, PipelineConfig, SamplingConfig
-from repro.dpo.trainer import DPOResult, run_dpo
+from repro.dpo.stream import DPODatasetWriter, PairStream
+from repro.dpo.trainer import DPOResult, DPOTrainer, run_dpo
 from repro.driving.specifications import all_specifications
 from repro.driving.tasks import DrivingTask, training_tasks, validation_tasks
 from repro.errors import TrainingError
@@ -69,6 +79,26 @@ def _stream_completed(pending):
         yield index, metadata, handle.result()
 
 
+def _stream_in_order(pending, build):
+    """Yield one ``build(metadata, scores)`` result per entry, in submission order.
+
+    ``build`` runs in verification-*completion* order, but results are
+    released as each contiguous *prefix* of the submission order completes —
+    the producer discipline of the streaming training path: a downstream
+    consumer (the pair stream feeding the dataset writer) receives task
+    *k*'s pairs as soon as tasks ``0..k`` have all verified, preserving the
+    canonical task order while still overlapping everything behind the
+    slowest outstanding batch.
+    """
+    results: dict = {}
+    next_index = 0
+    for index, metadata, scores in _stream_completed(pending):
+        results[index] = build(metadata, scores)
+        while next_index in results:
+            yield results.pop(next_index)
+            next_index += 1
+
+
 def _drain_in_order(pending, build) -> list:
     """One ``build(metadata, scores)`` result per ``pending`` entry, in order.
 
@@ -77,10 +107,7 @@ def _drain_in_order(pending, build) -> list:
     while the returned list follows submission order, keeping streamed
     results bitwise-identical to the blocking path.
     """
-    results: dict = {}
-    for index, metadata, scores in _stream_completed(pending):
-        results[index] = build(metadata, scores)
-    return [results[index] for index in range(len(pending))]
+    return list(_stream_in_order(pending, build))
 
 
 @dataclass
@@ -133,11 +160,18 @@ class PipelineResult:
     after_evaluation: ModelEvaluation
     checkpoint_evaluations: dict = field(default_factory=dict)   # epoch -> ModelEvaluation
     serving_metrics: dict = field(default_factory=dict)          # FeedbackService telemetry
+    stream_telemetry: dict = field(default_factory=dict)         # staged-run timings (stream_training=True)
 
     @property
     def improvement(self) -> float:
         """Headline number: satisfaction ratio after minus before fine-tuning."""
         return self.after_evaluation.satisfaction_ratio() - self.before_evaluation.satisfaction_ratio()
+
+
+#: Default cap on template-augmentation pairs per task — shared by the
+#: blocking `augment_with_templates` and the streaming producer, so the two
+#: paths can never silently diverge on it.
+TEMPLATE_PAIRS_PER_TASK = 6
 
 
 class DPOAFPipeline:
@@ -190,17 +224,22 @@ class DPOAFPipeline:
         """Number of specifications the response's controller satisfies."""
         return self.serving.score_response(task, response)
 
-    def collect_preference_pairs(
+    def _submit_sampled_batches(
         self,
         model: TransformerLM,
         tokenizer: Tokenizer,
         *,
-        sampling: SamplingConfig | None = None,
-        seed: int | None = None,
+        sampling: SamplingConfig,
+        rng,
     ) -> list:
-        """Sample responses per training task, score them, and build pairs."""
-        sampling = sampling if sampling is not None else self.config.sampling
-        rng = seeded_rng(self.config.seed if seed is None else seed)
+        """Sample every training task and submit its batch for verification.
+
+        Returns ``(task, prompt, responses, PendingBatch)`` tuples in task
+        order.  Submission is asynchronous: task *k* verifies on the
+        pipeline's dispatcher while task *k+1* samples here, and a configured
+        in-flight bound blocks the sampling loop (back-pressure) rather than
+        queueing unbounded batches.
+        """
         pending = []
         for task in self.tasks:
             prompt = format_prompt(task)
@@ -214,34 +253,11 @@ class DPOAFPipeline:
                 max_new_tokens=sampling.max_new_tokens,
                 seed=rng,
             )
-            # Submit asynchronously and keep sampling: task k verifies on the
-            # pipeline's dispatcher while task k+1 samples here.  Under a
-            # configured in-flight bound this submission blocks (back-
-            # pressure) rather than queueing unbounded batches.
             pending.append((task, prompt, responses, self.serving.submit_responses(task, responses)))
-        # Build each task's pairs the moment its scores arrive instead of
-        # draining batches in task order — pair construction overlaps the
-        # verification still in flight.  rank_to_pairs is order-independent
-        # and the final list is assembled in task order, so the result is
-        # bitwise-identical to the blocking score_batch path.
-        def build(metadata, scores):
-            task, prompt, responses = metadata
-            return rank_to_pairs(prompt, responses, scores, task=task.name)
+        return pending
 
-        pairs = []
-        for task_pairs in _drain_in_order(pending, build):
-            pairs.extend(task_pairs)
-        return pairs
-
-    def augment_with_templates(self, pairs: list, *, per_task: int = 6) -> list:
-        """Add template-based preference pairs when sampling yields too few.
-
-        The paper collects ~3000 pairs by sampling Llama2 at scale; at our
-        scale a freshly pre-trained small model sometimes produces nearly
-        identical responses whose feedback ties.  Pairs built from the
-        response library (scored by the same verifier) keep the DPO dataset
-        informative without changing the feedback mechanism.
-        """
+    def _submit_template_batches(self) -> list:
+        """Submit every task's template-library candidates for verification."""
         from repro.driving.responses import VAGUE_RESPONSES, response_templates
 
         pending = []
@@ -251,14 +267,60 @@ class DPOAFPipeline:
             flawed = response_templates(task.name, "flawed")
             candidates = list(compliant) + list(flawed[:2]) + [VAGUE_RESPONSES[0]]
             pending.append((task, prompt, candidates, self.serving.submit_responses(task, candidates)))
-        # Streamed like collect_preference_pairs: rank each task's templates
-        # as its scores land, then append in task order for determinism.
+        return pending
+
+    @staticmethod
+    def _build_task_pairs(metadata, scores) -> list:
+        """One sampled task's preference pairs from its landed scores."""
+        task, prompt, responses = metadata
+        return rank_to_pairs(prompt, responses, scores, task=task.name)
+
+    @staticmethod
+    def _build_template_pairs(per_task: int):
+        """A ``build`` callback ranking one task's templates, capped per task."""
+
         def build(metadata, scores):
             task, prompt, candidates = metadata
             return rank_to_pairs(prompt, candidates, scores, task=task.name)[:per_task]
 
+        return build
+
+    def collect_preference_pairs(
+        self,
+        model: TransformerLM,
+        tokenizer: Tokenizer,
+        *,
+        sampling: SamplingConfig | None = None,
+        seed: int | None = None,
+    ) -> list:
+        """Sample responses per training task, score them, and build pairs."""
+        sampling = sampling if sampling is not None else self.config.sampling
+        rng = seeded_rng(self.config.seed if seed is None else seed)
+        pending = self._submit_sampled_batches(model, tokenizer, sampling=sampling, rng=rng)
+        # Build each task's pairs the moment its scores arrive instead of
+        # draining batches in task order — pair construction overlaps the
+        # verification still in flight.  rank_to_pairs is order-independent
+        # and the final list is assembled in task order, so the result is
+        # bitwise-identical to the blocking score_batch path.
+        pairs = []
+        for task_pairs in _drain_in_order(pending, self._build_task_pairs):
+            pairs.extend(task_pairs)
+        return pairs
+
+    def augment_with_templates(self, pairs: list, *, per_task: int = TEMPLATE_PAIRS_PER_TASK) -> list:
+        """Add template-based preference pairs when sampling yields too few.
+
+        The paper collects ~3000 pairs by sampling Llama2 at scale; at our
+        scale a freshly pre-trained small model sometimes produces nearly
+        identical responses whose feedback ties.  Pairs built from the
+        response library (scored by the same verifier) keep the DPO dataset
+        informative without changing the feedback mechanism.
+        """
+        pending = self._submit_template_batches()
+        # Streamed like collect_preference_pairs: rank each task's templates
+        # as its scores land, then append in task order for determinism.
         augmented = list(pairs)
-        for task_pairs in _drain_in_order(pending, build):
+        for task_pairs in _drain_in_order(pending, self._build_template_pairs(per_task)):
             augmented.extend(task_pairs)
         return augmented
 
@@ -334,16 +396,31 @@ class DPOAFPipeline:
     # Orchestration
     # ------------------------------------------------------------------ #
     def run(self, *, evaluate_checkpoints: bool = False, augment_pairs: bool = True) -> PipelineResult:
-        """Run the full DPO-AF loop and return every artifact."""
+        """Run the full DPO-AF loop and return every artifact.
+
+        With the default ``PipelineConfig.stream_training=False`` the stages
+        run phase-sequentially (collect every pair, encode, train) and the
+        result is the bitwise reference.  With ``stream_training=True`` the
+        ``collect → augment → encode → train`` stages overlap as a
+        producer/consumer pipeline (see :meth:`_run_streaming`); the sealed
+        training dataset is identical to the blocking one, and stage timings
+        land on ``PipelineResult.stream_telemetry``.
+        """
         pretrain_result = self.pretrain_model()
         model, tokenizer = pretrain_result.model, pretrain_result.tokenizer
 
         before = self.evaluate_model(model, tokenizer)
 
-        pairs = self.collect_preference_pairs(model, tokenizer)
-        if augment_pairs:
-            pairs = self.augment_with_templates(pairs)
-        dpo_result = self.finetune(model, tokenizer, pairs)
+        stream_telemetry: dict = {}
+        if self.config.stream_training:
+            pairs, dpo_result, stream_telemetry = self._run_streaming(
+                model, tokenizer, augment_pairs=augment_pairs
+            )
+        else:
+            pairs = self.collect_preference_pairs(model, tokenizer)
+            if augment_pairs:
+                pairs = self.augment_with_templates(pairs)
+            dpo_result = self.finetune(model, tokenizer, pairs)
 
         after = self.evaluate_model(dpo_result.policy, tokenizer)
         checkpoint_evaluations = (
@@ -360,7 +437,117 @@ class DPOAFPipeline:
             after_evaluation=after,
             checkpoint_evaluations=checkpoint_evaluations,
             serving_metrics=serving_metrics,
+            stream_telemetry=stream_telemetry,
         )
+
+    def _run_streaming(self, model: TransformerLM, tokenizer: Tokenizer, *, augment_pairs: bool) -> tuple:
+        """The staged producer/consumer training-data path (``stream_training``).
+
+        Three concurrent stages share the pipeline's :class:`Dispatcher`:
+
+        * **producer** (background thread): samples each task — from a clone
+          of ``model``, so the trainer below can mutate the original —
+          submits its batch to the feedback service, and feeds each task's
+          pairs into a bounded :class:`~repro.dpo.stream.PairStream` in
+          canonical task order as contiguous prefixes of the verification
+          results complete (collect first, then template augmentation);
+        * **encoder** (background thread): a
+          :class:`~repro.dpo.stream.DPODatasetWriter` tokenises each pair the
+          moment it crosses the stream — overlapping CPU-bound encoding with
+          the verification still in flight — optionally spilling encoded
+          pairs to ``stream_pairs_path``, and seals the
+          :class:`~repro.dpo.stream.DatasetHandle` when the stream ends;
+        * **trainer** (this thread): starts epoch-1 mini-batching as soon as
+          ``stream_warmup_fraction`` of the tasks have verified and their
+          pairs encoded, then runs the remaining epochs on the sealed
+          dataset.
+
+        A failure in any stage aborts the stream and fails the handle, so the
+        other stages raise instead of deadlocking.  Returns ``(pairs,
+        dpo_result, stream_telemetry)``; the sealed dataset is equal — same
+        pair order, token ids and masks — to what the blocking path would
+        have built.
+        """
+        stage_start = time.perf_counter()
+        sample_model = model.clone()  # the trainer mutates `model` concurrently
+        stream = PairStream(maxsize=self.config.stream_buffer_pairs)
+        writer = DPODatasetWriter(
+            tokenizer,
+            max_seq_len=model.config.max_seq_len,
+            spill_path=self.config.stream_pairs_path,
+        )
+        handle = writer.handle
+        pairs: list = []
+        timings: dict = {}
+
+        # Failures do not need collecting here: a producer error aborts the
+        # stream, the encoder's consume() then fails the handle with it, and
+        # the trainer's next wait re-raises that same exception on this
+        # thread.
+        def produce() -> None:
+            started = time.perf_counter()
+            try:
+                rng = seeded_rng(self.config.seed)
+                stages = [
+                    (
+                        self._submit_sampled_batches(
+                            sample_model, tokenizer, sampling=self.config.sampling, rng=rng
+                        ),
+                        self._build_task_pairs,
+                    )
+                ]
+                if augment_pairs:
+                    stages.append(
+                        (
+                            self._submit_template_batches(),
+                            self._build_template_pairs(TEMPLATE_PAIRS_PER_TASK),
+                        )
+                    )
+                total = sum(len(pending) for pending, _ in stages)
+                done = 0
+                for pending, build in stages:
+                    for task_pairs in _stream_in_order(pending, build):
+                        pairs.extend(task_pairs)
+                        stream.put_many(task_pairs)
+                        done += 1
+                        handle.report_progress(done, total)
+                stream.close()
+            except BaseException as exc:  # propagate, never hang the consumers
+                stream.abort(exc)
+            finally:
+                timings["producer_seconds"] = time.perf_counter() - started
+
+        def encode() -> None:
+            try:
+                writer.consume(stream)  # fails the handle itself on error
+            except BaseException as exc:
+                stream.abort(exc)  # unblock a producer stuck on a full stream
+
+        producer = threading.Thread(target=produce, name="pipeline-pair-producer", daemon=True)
+        encoder = threading.Thread(target=encode, name="pipeline-pair-encoder", daemon=True)
+        producer.start()
+        encoder.start()
+        try:
+            trainer = DPOTrainer(model, tokenizer, self.config.dpo)
+            handle.wait_trainable(self.config.stream_warmup_fraction)
+            timings["first_trainable_pair_seconds"] = time.perf_counter() - stage_start
+            dpo_result = trainer.train(
+                handle, stream=True, warmup_fraction=self.config.stream_warmup_fraction
+            )
+        finally:
+            producer.join()
+            encoder.join()
+        if not pairs:
+            raise TrainingError("no preference pairs were collected; cannot fine-tune")
+
+        telemetry = writer.telemetry.snapshot()
+        telemetry.update(timings)
+        telemetry["stage_total_seconds"] = time.perf_counter() - stage_start
+        telemetry["warmup_fraction"] = self.config.stream_warmup_fraction
+        telemetry["spill_path"] = (
+            str(self.config.stream_pairs_path) if self.config.stream_pairs_path else None
+        )
+        return pairs, dpo_result, telemetry
 
     # ------------------------------------------------------------------ #
     # Lifecycle

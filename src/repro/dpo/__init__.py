@@ -1,18 +1,43 @@
-"""Direct preference optimization: dataset encoding, loss, trainer, metrics."""
+"""Direct preference optimization: dataset encoding, loss, trainer, metrics.
 
-from repro.dpo.dataset import DPODataset, EncodedPair
+Includes the streaming training-data path (:mod:`repro.dpo.stream`): a
+:class:`PairStream` channel of preference pairs, an incremental
+:class:`DPODatasetWriter` that tokenises pairs as verification produces them
+(optionally spilling encoded pairs to a JSONL shard), and the
+:class:`DatasetHandle` the trainer consumes so mini-batching can begin before
+the slowest task has verified.
+"""
+
+from repro.dpo.dataset import DPODataset, EncodedPair, encode_preference_pair
 from repro.dpo.loss import DPOBatchMetrics, dpo_step, sigmoid
 from repro.dpo.metrics import MultiSeedCurves, TrainingHistory
+from repro.dpo.stream import (
+    DatasetHandle,
+    DPODatasetWriter,
+    PairStream,
+    StreamClosed,
+    StreamTelemetry,
+    encoded_pair_record,
+    read_encoded_pairs,
+)
 from repro.dpo.trainer import DPOConfig, DPOResult, DPOTrainer, run_dpo
 
 __all__ = [
     "DPODataset",
     "EncodedPair",
+    "encode_preference_pair",
     "DPOBatchMetrics",
     "dpo_step",
     "sigmoid",
     "MultiSeedCurves",
     "TrainingHistory",
+    "DatasetHandle",
+    "DPODatasetWriter",
+    "PairStream",
+    "StreamClosed",
+    "StreamTelemetry",
+    "encoded_pair_record",
+    "read_encoded_pairs",
     "DPOConfig",
     "DPOResult",
     "DPOTrainer",

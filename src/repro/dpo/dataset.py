@@ -29,9 +29,40 @@ class EncodedPair:
     task: str = ""
 
 
+def encode_preference_pair(pair: PreferencePair, tokenizer: Tokenizer, *, max_seq_len: int = 96) -> EncodedPair:
+    """Tokenise one preference pair (truncating over-long sequences).
+
+    The single source of truth for pair encoding: both the blocking
+    :meth:`DPODataset.from_preference_pairs` batch path and the incremental
+    :class:`~repro.dpo.stream.DPODatasetWriter` call this, which is what makes
+    a streamed dataset bitwise-identical to a blocking-built one.
+    """
+    if not isinstance(pair, PreferencePair):
+        raise TrainingError(f"expected PreferencePair, got {type(pair)!r}")
+    prompt_ids = tokenizer.encode(pair.prompt, add_bos=True)
+    chosen_ids = tokenizer.encode(format_document(pair.prompt, pair.chosen), add_bos=True, add_eos=True)
+    rejected_ids = tokenizer.encode(format_document(pair.prompt, pair.rejected), add_bos=True, add_eos=True)
+    return EncodedPair(
+        chosen_ids=chosen_ids[:max_seq_len],
+        rejected_ids=rejected_ids[:max_seq_len],
+        chosen_response_start=min(len(prompt_ids), max_seq_len - 1),
+        rejected_response_start=min(len(prompt_ids), max_seq_len - 1),
+        task=pair.task,
+    )
+
+
 @dataclass
 class DPODataset:
-    """A tokenised preference dataset ready for mini-batching."""
+    """A tokenised preference dataset ready for mini-batching.
+
+    Append-friendly: besides being built in one shot with
+    :meth:`from_preference_pairs`, a dataset can grow incrementally through
+    :meth:`append` / :meth:`extend` (the shape
+    :class:`~repro.dpo.stream.DPODatasetWriter` feeds while verification is
+    still in flight) and can materialise a mini-batch over any explicit index
+    window with :meth:`batch` — what the trainer's streamed first epoch uses
+    to consume a growing prefix.
+    """
 
     pairs: list = field(default_factory=list)          # list[EncodedPair]
     tokenizer: Tokenizer = None
@@ -50,23 +81,26 @@ class DPODataset:
         max_seq_len: int = 96,
     ) -> "DPODataset":
         """Encode raw preference pairs (truncating over-long sequences)."""
-        encoded: list[EncodedPair] = []
+        dataset = cls(pairs=[], tokenizer=tokenizer, max_seq_len=max_seq_len)
         for pair in pairs:
-            if not isinstance(pair, PreferencePair):
-                raise TrainingError(f"expected PreferencePair, got {type(pair)!r}")
-            prompt_ids = tokenizer.encode(pair.prompt, add_bos=True)
-            chosen_ids = tokenizer.encode(format_document(pair.prompt, pair.chosen), add_bos=True, add_eos=True)
-            rejected_ids = tokenizer.encode(format_document(pair.prompt, pair.rejected), add_bos=True, add_eos=True)
-            encoded.append(
-                EncodedPair(
-                    chosen_ids=chosen_ids[:max_seq_len],
-                    rejected_ids=rejected_ids[:max_seq_len],
-                    chosen_response_start=min(len(prompt_ids), max_seq_len - 1),
-                    rejected_response_start=min(len(prompt_ids), max_seq_len - 1),
-                    task=pair.task,
-                )
-            )
-        return cls(pairs=encoded, tokenizer=tokenizer, max_seq_len=max_seq_len)
+            dataset.append(pair)
+        return dataset
+
+    # ------------------------------------------------------------------ #
+    def append(self, pair) -> EncodedPair:
+        """Encode and append one pair; accepts raw or already-encoded pairs."""
+        encoded = (
+            pair
+            if isinstance(pair, EncodedPair)
+            else encode_preference_pair(pair, self.tokenizer, max_seq_len=self.max_seq_len)
+        )
+        self.pairs.append(encoded)
+        return encoded
+
+    def extend(self, pairs) -> None:
+        """Append several raw or encoded pairs in order."""
+        for pair in pairs:
+            self.append(pair)
 
     # ------------------------------------------------------------------ #
     def _pad_batch(self, sequences: list, starts: list) -> tuple:
@@ -83,6 +117,29 @@ class DPODataset:
                 mask[row, j] = 1.0
         return tokens, mask
 
+    def batch(self, indices) -> dict:
+        """Materialise one mini-batch over an explicit index selection.
+
+        ``indices`` is any integer sequence; the returned dictionary has the
+        same arrays :meth:`batches` yields.  Used directly by the streamed
+        trainer epoch, which batches over a contiguous, still-growing prefix
+        instead of a shuffled permutation.
+        """
+        index = np.asarray(list(indices), dtype=np.int64)
+        chosen = [self.pairs[i].chosen_ids for i in index]
+        rejected = [self.pairs[i].rejected_ids for i in index]
+        chosen_starts = [self.pairs[i].chosen_response_start for i in index]
+        rejected_starts = [self.pairs[i].rejected_response_start for i in index]
+        chosen_tokens, chosen_mask = self._pad_batch(chosen, chosen_starts)
+        rejected_tokens, rejected_mask = self._pad_batch(rejected, rejected_starts)
+        return {
+            "chosen_tokens": chosen_tokens,
+            "chosen_mask": chosen_mask,
+            "rejected_tokens": rejected_tokens,
+            "rejected_mask": rejected_mask,
+            "indices": index,
+        }
+
     def batches(self, batch_size: int, *, rng: np.random.Generator | None = None, shuffle: bool = True):
         """Yield mini-batches as dictionaries of numpy arrays."""
         if not self.pairs:
@@ -93,20 +150,7 @@ class DPODataset:
                 raise TrainingError("shuffling requires an rng")
             order = rng.permutation(order)
         for start in range(0, len(order), batch_size):
-            index = order[start: start + batch_size]
-            chosen = [self.pairs[i].chosen_ids for i in index]
-            rejected = [self.pairs[i].rejected_ids for i in index]
-            chosen_starts = [self.pairs[i].chosen_response_start for i in index]
-            rejected_starts = [self.pairs[i].rejected_response_start for i in index]
-            chosen_tokens, chosen_mask = self._pad_batch(chosen, chosen_starts)
-            rejected_tokens, rejected_mask = self._pad_batch(rejected, rejected_starts)
-            yield {
-                "chosen_tokens": chosen_tokens,
-                "chosen_mask": chosen_mask,
-                "rejected_tokens": rejected_tokens,
-                "rejected_mask": rejected_mask,
-                "indices": index,
-            }
+            yield self.batch(order[start: start + batch_size])
 
     def num_batches(self, batch_size: int) -> int:
         return (len(self.pairs) + batch_size - 1) // batch_size

@@ -72,6 +72,40 @@ def canonical_ranking(responses: Sequence[str], scores: Sequence) -> list:
     )
 
 
+def iter_ranked_pairs(
+    prompt: str,
+    responses: Sequence[str],
+    scores: Sequence[float],
+    *,
+    task: str = "",
+):
+    """Lazily yield one task's preference pairs in canonical order.
+
+    The generator core of :func:`rank_to_pairs`: pairs are enumerated over
+    the :func:`canonical_ranking` of the inputs, so the yielded *sequence*
+    (content and order) is invariant under any permutation of ``(responses,
+    scores)``.  Streaming consumers — the pipeline's pair producer feeding a
+    :class:`~repro.dpo.stream.PairStream` — can forward each pair downstream
+    the moment it is built instead of waiting for the task's full list.
+    """
+    if len(responses) != len(scores):
+        raise ValueError(f"got {len(responses)} responses but {len(scores)} scores")
+    ranking = canonical_ranking(responses, scores)
+    for a, b in combinations(ranking, 2):
+        # ``a`` precedes ``b`` in the canonical ranking, so scores[a] >=
+        # scores[b]; only a strict difference carries a preference.
+        if scores[a] == scores[b]:
+            continue
+        yield PreferencePair(
+            prompt=prompt,
+            chosen=responses[a],
+            rejected=responses[b],
+            chosen_score=float(scores[a]),
+            rejected_score=float(scores[b]),
+            task=task,
+        )
+
+
 def rank_to_pairs(
     prompt: str,
     responses: Sequence[str],
@@ -84,11 +118,12 @@ def rank_to_pairs(
 
     Every two responses whose scores differ produce one
     :class:`PreferencePair` oriented toward the higher score.  Pairs are
-    enumerated over the :func:`canonical_ranking` of the inputs, so the
-    returned *list* (content and order) is invariant under any permutation of
-    ``(responses, scores)`` — the property that makes streaming pair
-    construction safe (see the module docstring), and one the test suite
-    property-tests over random permutations.
+    enumerated over the :func:`canonical_ranking` of the inputs (see
+    :func:`iter_ranked_pairs`, the lazy core), so the returned *list*
+    (content and order) is invariant under any permutation of ``(responses,
+    scores)`` — the property that makes streaming pair construction safe
+    (see the module docstring), and one the test suite property-tests over
+    random permutations.
 
     Parameters
     ----------
@@ -104,26 +139,7 @@ def rank_to_pairs(
         and never produce a pair regardless of this flag; a strict score
         difference is what orients a pair in the first place.
     """
-    if len(responses) != len(scores):
-        raise ValueError(f"got {len(responses)} responses but {len(scores)} scores")
-    ranking = canonical_ranking(responses, scores)
-    pairs = []
-    for a, b in combinations(ranking, 2):
-        # ``a`` precedes ``b`` in the canonical ranking, so scores[a] >=
-        # scores[b]; only a strict difference carries a preference.
-        if scores[a] == scores[b]:
-            continue
-        pairs.append(
-            PreferencePair(
-                prompt=prompt,
-                chosen=responses[a],
-                rejected=responses[b],
-                chosen_score=float(scores[a]),
-                rejected_score=float(scores[b]),
-                task=task,
-            )
-        )
-    return pairs
+    return list(iter_ranked_pairs(prompt, responses, scores, task=task))
 
 
 def max_pairs(num_tasks: int, responses_per_task: int) -> int:

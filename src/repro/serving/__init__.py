@@ -47,7 +47,10 @@ This package turns it into a standalone service with four layers:
     too far ahead of verification (blocked time is telemetered as
     ``backpressure_seconds``).  The dispatch thread is a first-class
     :class:`~repro.serving.scheduler.Dispatcher` that several services can
-    share, serving multiple task streams over one thread.  Services own
+    share, serving multiple task streams over one thread; admission across
+    services is round-robin (one batch per service in rotation), so a chatty
+    service can never starve another's stream, while each service's own
+    batches still run in its submission order.  Services own
     threads/processes once those paths are used; release them with
     ``close()`` or a ``with`` block.
 ``metrics``

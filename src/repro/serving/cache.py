@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import time
 from collections import OrderedDict
 from contextlib import contextmanager
@@ -236,6 +237,9 @@ class CacheDirectory:
     #: Hex digits of the fingerprint digest used as the shard file name.
     DIGEST_PREFIX = 16
 
+    #: Directory-level compaction lock file (never a shard, never swept while fresh).
+    COMPACT_LOCK_NAME = "compact.lock"
+
     def __init__(self, root: str | Path):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
@@ -322,13 +326,126 @@ class CacheDirectory:
         Only ``*.json`` shards count: the sibling ``*.json.lock`` advisory
         lock files and in-flight ``*.json.tmp.<pid>`` writes are never shards,
         so they can never be loaded, trimmed or mistaken for cached scores.
+        A shard deleted concurrently (another process's compaction evicting
+        it) is simply dropped from the listing rather than raising.
         """
-        shards = [
-            path
-            for path in self.root.glob("*.json")
-            if path.is_file() and ".tmp." not in path.name and not path.name.endswith(".lock")
-        ]
-        return sorted(shards, key=lambda path: (path.stat().st_mtime, path.name))
+        stamped = []
+        for path in self.root.glob("*.json"):
+            if ".tmp." in path.name or path.name.endswith(".lock"):
+                continue
+            try:
+                stamped.append((path.stat().st_mtime, path.name, path))
+            except OSError:
+                continue  # evicted between glob and stat
+        return [path for _mtime, _name, path in sorted(stamped)]
+
+    def _directory_bytes(self) -> int:
+        """Total size of the surviving shards, tolerant of concurrent eviction."""
+        total = 0
+        for shard in self.shard_files():
+            try:
+                total += shard.stat().st_size
+            except OSError:
+                continue
+        return total
+
+    # ------------------------------------------------------------------ #
+    def _try_acquire_compaction_lock(self, stale_after: float) -> bool:
+        """Atomically claim the directory-wide compaction lock, or report busy.
+
+        The lock is a file created with ``O_CREAT | O_EXCL`` (atomic on every
+        platform), holding the owner's pid and start time for debuggability.
+        If the file already exists, the holder is presumed live and this
+        process *skips* compaction — unless the lock's mtime is older than
+        ``stale_after`` seconds, in which case the holder is presumed dead
+        (crashed mid-compaction) and the lock is taken over via
+        :meth:`_takeover_stale_lock`: an atomic rename-aside claim that
+        exactly one of several racing takeover attempts can win, followed by
+        one fresh ``O_EXCL`` attempt.
+        """
+        lock = self.root / self.COMPACT_LOCK_NAME
+        for attempt in range(2):
+            try:
+                fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                if attempt:
+                    return False
+                try:
+                    age = time.time() - lock.stat().st_mtime
+                except OSError:
+                    continue  # holder released between open and stat; retry
+                if age <= stale_after:
+                    return False  # a live process is compacting; skip this round
+                if not self._takeover_stale_lock(lock, stale_after):
+                    return False
+                continue
+            try:
+                os.write(fd, self._lock_owner_tag())
+            finally:
+                os.close(fd)
+            return True
+        return False
+
+    def _lock_owner_tag(self) -> bytes:
+        """This process's identity, written into the lock it holds."""
+        return f"pid={os.getpid()}\n".encode()
+
+    def _touch_compaction_lock(self) -> None:
+        """Refresh the held lock's mtime — a lease renewal.
+
+        Called between compaction passes (and per shard inside the trim
+        loop), so a legitimately long-running compaction keeps its lock
+        fresh and cannot be mistaken for a crashed holder by another
+        process's staleness check.
+        """
+        try:
+            os.utime(self.root / self.COMPACT_LOCK_NAME)
+        except OSError:
+            pass
+
+    def _takeover_stale_lock(self, lock: Path, stale_after: float) -> bool:
+        """Claim a stale lock without ever deleting a live one.
+
+        The stale file is *renamed* to a private name — an atomic claim only
+        one of several racing takeover attempts can win — and then re-checked:
+        if the renamed file turns out to be fresh (the stale lock was replaced
+        by a new holder between our staleness check and the rename), the live
+        holder's file is restored via ``os.link`` (same inode, so its own
+        release still works; the link fails harmlessly if a third process
+        already re-created the lock) and the takeover backs off.
+        """
+        claimed = lock.with_name(f"{lock.name}.stale.{os.getpid()}")
+        try:
+            os.rename(lock, claimed)
+        except OSError:
+            return False  # a concurrent takeover won the rename
+        try:
+            stole_live_lock = time.time() - claimed.stat().st_mtime <= stale_after
+        except OSError:
+            stole_live_lock = False
+        if stole_live_lock:
+            try:
+                os.link(claimed, lock)
+            except OSError:
+                pass
+            claimed.unlink(missing_ok=True)
+            return False
+        claimed.unlink(missing_ok=True)
+        return True
+
+    def _release_compaction_lock(self) -> None:
+        """Drop the directory-wide compaction lock (best-effort).
+
+        Only a lock this process still owns is unlinked: if the lock went
+        stale anyway and another process took it over, the file now carries
+        the new owner's pid and must not be deleted out from under it.
+        """
+        lock = self.root / self.COMPACT_LOCK_NAME
+        try:
+            if lock.read_bytes() == self._lock_owner_tag():
+                lock.unlink(missing_ok=True)
+        except OSError:
+            pass
 
     def compact(
         self,
@@ -336,11 +453,22 @@ class CacheDirectory:
         max_entries: int | None = None,
         max_bytes: int | None = None,
         tmp_grace_seconds: float = 3600.0,
+        stale_lock_seconds: float = 600.0,
     ) -> "CompactionReport":
         """Bound the directory's size and sweep up ``store``'s litter.
 
-        Three passes, each independently best-effort (a shard another process
-        is rewriting concurrently is simply skipped this round):
+        Compaction is coordinated *across processes* by a directory-level
+        lock (``compact.lock``, created atomically with ``O_EXCL``): two
+        services flushing the same ``shared_cache_dir`` can never evict or
+        rewrite shards concurrently.  A process that finds the lock held
+        skips compaction for this round — the holder is already doing the
+        work — and returns a report with ``skipped=True``; a lock older than
+        ``stale_lock_seconds`` is presumed to belong to a crashed process and
+        is taken over.
+
+        Three passes then run, each independently best-effort (a shard
+        another process is rewriting concurrently is simply skipped this
+        round):
 
         1. *Trim*: every shard with more than ``max_entries`` entries is
            rewritten (atomically, under the same advisory lock ``store``
@@ -363,10 +491,30 @@ class CacheDirectory:
         Either bound may be ``None`` (unbounded); the sweep always runs.
         Returns a :class:`CompactionReport` of what was done.
         """
+        if not self._try_acquire_compaction_lock(stale_lock_seconds):
+            return CompactionReport(skipped=True, total_bytes=self._directory_bytes())
+        try:
+            return self._compact_locked(
+                max_entries=max_entries,
+                max_bytes=max_bytes,
+                tmp_grace_seconds=tmp_grace_seconds,
+            )
+        finally:
+            self._release_compaction_lock()
+
+    def _compact_locked(
+        self,
+        *,
+        max_entries: int | None,
+        max_bytes: int | None,
+        tmp_grace_seconds: float,
+    ) -> "CompactionReport":
+        """The trim/evict/sweep passes, run under the directory lock."""
         trimmed = evicted = removed_locks = removed_tmp = 0
 
         if max_entries is not None:
             for shard in self.shard_files():
+                self._touch_compaction_lock()  # lease renewal per shard
                 try:
                     with self._store_lock(shard):
                         payload = load_json(shard)
@@ -383,6 +531,7 @@ class CacheDirectory:
                     continue
 
         if max_bytes is not None:
+            self._touch_compaction_lock()
             shards = self.shard_files()
             sizes = {shard: shard.stat().st_size for shard in shards}
             total = sum(sizes.values())
@@ -396,9 +545,12 @@ class CacheDirectory:
                 total -= sizes[shard]
                 evicted += 1
 
+        self._touch_compaction_lock()
         now = time.time()
         surviving = {shard.name for shard in self.shard_files()}
         for lock in self.root.glob("*.lock"):
+            if lock.name == self.COMPACT_LOCK_NAME:
+                continue  # the directory lock this very pass is holding
             try:
                 if (
                     lock.name[: -len(".lock")] not in surviving
@@ -415,22 +567,35 @@ class CacheDirectory:
                     removed_tmp += 1
             except OSError:
                 continue
+        # Rename-aside claims from crashed takeover attempts are litter too.
+        for stale_claim in self.root.glob(f"{self.COMPACT_LOCK_NAME}.stale.*"):
+            try:
+                if now - stale_claim.stat().st_mtime > tmp_grace_seconds:
+                    stale_claim.unlink(missing_ok=True)
+                    removed_locks += 1
+            except OSError:
+                continue
 
         return CompactionReport(
             trimmed_shards=trimmed,
             evicted_shards=evicted,
             removed_lock_files=removed_locks,
             removed_tmp_files=removed_tmp,
-            total_bytes=sum(shard.stat().st_size for shard in self.shard_files()),
+            total_bytes=self._directory_bytes(),
         )
 
 
 @dataclass(frozen=True)
 class CompactionReport:
-    """What one :meth:`CacheDirectory.compact` pass did."""
+    """What one :meth:`CacheDirectory.compact` pass did.
+
+    ``skipped`` is True when another live process held the directory's
+    compaction lock, so this call did nothing but measure the current size.
+    """
 
     trimmed_shards: int = 0
     evicted_shards: int = 0
     removed_lock_files: int = 0
     removed_tmp_files: int = 0
     total_bytes: int = 0
+    skipped: bool = False

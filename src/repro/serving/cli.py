@@ -73,6 +73,17 @@ streaming:
                       N batches (or jobs) are still unresolved, bounding the
                       verification work queued on the dispatcher; time spent
                       blocked is reported in the telemetry line
+
+training data:
+  --pairs-output PATH write a DPO-ready preference dataset next to the scored
+                      records: responses are grouped per task, ranked by
+                      score (canonically — input order never matters), turned
+                      into preference pairs, tokenised with a vocabulary fit
+                      on the input, and emitted as one encoded pair per JSONL
+                      line (token ids + response-mask starts, the
+                      repro.dpo.stream.DPODatasetWriter spill format).  The
+                      file is byte-identical whether the input was scored
+                      blocking or streamed with --batch-size.
 """
 
 
@@ -117,6 +128,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--max-inflight-jobs", type=int, default=None,
         help="back-pressure: max unresolved async jobs (requires --batch-size)",
+    )
+    parser.add_argument(
+        "--pairs-output", type=Path, default=None,
+        help="also write DPO-ready encoded preference pairs (JSONL) to this path",
     )
     return parser
 
@@ -167,6 +182,55 @@ def load_jobs(path: Path) -> list:
             )
         jobs.append((record, scenario))
     return jobs
+
+
+def write_pairs(jobs, scores, output: Path):
+    """Build and write DPO-ready encoded preference pairs from scored records.
+
+    Responses are grouped per ``task`` (first-occurrence order, input order
+    within a group), ranked with the canonical, order-independent
+    :func:`~repro.feedback.ranker.rank_to_pairs`, and tokenised by a
+    :class:`~repro.dpo.stream.DPODatasetWriter` spilling to ``output`` — the
+    same JSONL shard format the streaming pipeline writes, reloadable with
+    :func:`repro.dpo.stream.read_encoded_pairs`.  Every input is
+    deterministic (the tokenizer vocabulary is fit on the records in input
+    order), so the file is byte-identical however the scores were obtained.
+    Returns the writer (telemetry on ``writer.telemetry``).
+    """
+    from repro.dpo.stream import DPODatasetWriter
+    from repro.driving.tasks import task_by_name
+    from repro.feedback.ranker import rank_to_pairs
+    from repro.lm.corpus import format_document, format_prompt
+    from repro.lm.tokenizer import Tokenizer
+
+    grouped: dict = {}
+    for (record, _scenario), score in zip(jobs, scores):
+        grouped.setdefault(record["task"], ([], []))
+        responses, task_scores = grouped[record["task"]]
+        responses.append(record["response"])
+        task_scores.append(score)
+
+    def prompt_for(task_name: str) -> str:
+        try:
+            return format_prompt(task_by_name(task_name))
+        except KeyError:  # off-catalogue task scored via an explicit scenario
+            return format_prompt(task_name)
+
+    prompts = {task: prompt_for(task) for task in grouped}
+    # The vocabulary covers every document the pairs will encode, fit in
+    # deterministic input order.
+    texts = []
+    for task, (responses, _task_scores) in grouped.items():
+        texts.append(prompts[task])
+        texts.extend(format_document(prompts[task], response) for response in responses)
+    tokenizer = Tokenizer.fit(texts)
+
+    writer = DPODatasetWriter(tokenizer, spill_path=output)
+    for task, (responses, task_scores) in grouped.items():
+        for pair in rank_to_pairs(prompts[task], responses, task_scores, task=task):
+            writer.append(pair)
+    writer.seal()
+    return writer
 
 
 def write_records(records, output: Path | None) -> None:
@@ -254,6 +318,15 @@ def main(argv=None) -> int:
         ({**record, "scenario": scenario, "score": score} for (record, scenario), score in zip(jobs, scores)),
         args.output,
     )
+    if args.pairs_output is not None:
+        pairs_writer = write_pairs(jobs, scores, args.pairs_output)
+        service.metrics.record_stage("encode", pairs_writer.telemetry.encode_seconds)
+        print(
+            f"wrote {pairs_writer.telemetry.pairs_encoded} encoded preference pairs "
+            f"to {args.pairs_output} "
+            f"(encode stage {pairs_writer.telemetry.encode_seconds:.2f}s)",
+            file=sys.stderr,
+        )
 
     telemetry = service.metrics.snapshot()
     warm = (

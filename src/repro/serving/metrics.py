@@ -8,7 +8,7 @@ reports how much verification work the cache and dedup layers absorbed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 
 @dataclass
@@ -25,6 +25,7 @@ class ServingMetrics:
     backpressure_waits: int = 0    # submit_batch calls that blocked on the in-flight bound
     backpressure_seconds: float = 0.0  # producer time spent blocked by back-pressure
     total_seconds: float = 0.0
+    stage_seconds: dict = field(default_factory=dict)  # named pipeline-stage wall clocks
 
     # ------------------------------------------------------------------ #
     def record_batch(
@@ -56,6 +57,16 @@ class ServingMetrics:
         """
         self.backpressure_waits += 1
         self.backpressure_seconds += seconds
+
+    def record_stage(self, name: str, seconds: float) -> None:
+        """Accumulate wall-clock time for one named pipeline stage.
+
+        Stages are caller-defined (the streaming CLI records ``encode`` for
+        the pair-encoding pass; the pipeline may record its own) and land in
+        ``snapshot()["stage_seconds"]``, so consumers of the telemetry see
+        how the end-to-end wall clock splits across overlapping stages.
+        """
+        self.stage_seconds[name] = self.stage_seconds.get(name, 0.0) + seconds
 
     # ------------------------------------------------------------------ #
     @property
@@ -93,6 +104,7 @@ class ServingMetrics:
             "backpressure_waits": self.backpressure_waits,
             "backpressure_seconds": self.backpressure_seconds,
             "total_seconds": self.total_seconds,
+            "stage_seconds": dict(self.stage_seconds),
             "hit_rate": self.hit_rate,
             "dedup_rate": self.dedup_rate,
             "throughput": self.throughput,
@@ -104,3 +116,4 @@ class ServingMetrics:
         self.cache_hits = self.cache_misses = self.uncached_jobs = self.warm_start_entries = 0
         self.backpressure_waits = 0
         self.backpressure_seconds = self.total_seconds = 0.0
+        self.stage_seconds = {}

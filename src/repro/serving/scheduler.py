@@ -39,8 +39,11 @@ The dispatcher thread itself is a first-class object: a :class:`Dispatcher`
 can be shared by several services (pass it to the :class:`FeedbackService`
 constructor), serialising all their batches on one thread so the CLI or the
 pipeline can serve multiple task streams without spawning a thread per
-service.  A service constructed without one lazily creates — and owns — a
-private dispatcher.
+service.  Admission across services is round-robin — one batch per service
+in rotation, so a chatty service cannot starve another's stream — while each
+service's own batches still execute strictly in its submission order (the
+property determinism rests on).  A service constructed without one lazily
+creates — and owns — a private dispatcher.
 
 A service owns OS resources once the async or process paths are used
 (dispatcher thread, worker processes); release them with
@@ -54,6 +57,7 @@ from __future__ import annotations
 import threading
 import time
 import weakref
+from collections import deque
 from concurrent.futures import Future, ThreadPoolExecutor
 from concurrent.futures import as_completed as _futures_as_completed
 from dataclasses import dataclass
@@ -131,14 +135,15 @@ def as_completed(batches: Iterable[PendingBatch], timeout: float | None = None) 
 
 
 class Dispatcher:
-    """A single-threaded batch executor one or more services submit through.
+    """A single-threaded, service-fair batch executor services submit through.
 
     Every asynchronous batch a :class:`FeedbackService` accepts runs on a
-    dispatcher: one worker thread executing batches strictly in submission
-    order, which is what keeps async scores bitwise-identical to sequential
-    ``score_batch`` calls.  A service constructed without a dispatcher lazily
-    creates a private one; constructing a ``Dispatcher`` explicitly and
-    passing it to several services *shares* that thread between them::
+    dispatcher: one worker thread executing each *service's* batches strictly
+    in that service's submission order, which is what keeps async scores
+    bitwise-identical to sequential ``score_batch`` calls.  A service
+    constructed without a dispatcher lazily creates a private one;
+    constructing a ``Dispatcher`` explicitly and passing it to several
+    services *shares* that thread between them::
 
         with Dispatcher() as dispatcher:
             formal = FeedbackService(specs, dispatcher=dispatcher)
@@ -146,10 +151,14 @@ class Dispatcher:
                                         dispatcher=dispatcher)
             handles = [formal.submit_batch(a), empirical.submit_batch(b)]
 
-    Sharing serialises batches *across* services too (one thread), so two
-    services over one dispatcher still each see their own batches execute in
-    their own submission order.  Each service keeps its own cache, worker
-    pool and telemetry — only the submission thread is shared.
+    Admission across services is **round-robin**, not FIFO: each service owns
+    a queue, and the worker thread takes one batch from each non-empty queue
+    in rotation.  A chatty service that has queued a hundred batches
+    therefore delays another service's next batch by at most one batch, not
+    a hundred — no registered stream can be starved.  Within one service the
+    queue is strictly FIFO, preserving the per-service submission-order
+    execution that determinism depends on.  Each service keeps its own
+    cache, worker pool and telemetry — only the submission thread is shared.
 
     Lifecycle: services :meth:`register` on construction and
     :meth:`unregister` when closed; closing a service never tears down a
@@ -167,6 +176,13 @@ class Dispatcher:
         # registry on GC instead of leaving a stale entry (or, with id()
         # keys, aliasing a later allocation at the same address).
         self._services: weakref.WeakSet = weakref.WeakSet()
+        # Round-robin state: one FIFO deque of (future, fn, args) per
+        # submitter, and a rotation of the submitter keys.  A key is the
+        # id() of the submitting service (kept alive by the bound method in
+        # its queued items, so ids cannot alias while a queue is non-empty);
+        # direct `submit()` callers without a service share the None key.
+        self._queues: dict = {}
+        self._rotation: deque = deque()
         self._closed = False
 
     # ------------------------------------------------------------------ #
@@ -194,13 +210,24 @@ class Dispatcher:
         with self._lock:
             return self._closed
 
+    @property
+    def queued_batches(self) -> int:
+        """Batches admitted but not yet started by the worker thread."""
+        with self._lock:
+            return sum(len(queue) for queue in self._queues.values())
+
     # ------------------------------------------------------------------ #
-    def submit(self, fn, *args) -> Future:
+    def submit(self, fn, *args, service=None) -> Future:
         """Queue ``fn(*args)`` on the dispatch thread; returns its future.
 
-        The worker thread is started lazily on the first submission, so a
-        dispatcher that is constructed but never used costs nothing.
+        ``service`` identifies the fairness queue the call joins: batches
+        from the same service run in their submission order, while distinct
+        services are interleaved round-robin.  Callers without a service
+        (``service=None``) share one queue.  The worker thread is started
+        lazily on the first submission, so a dispatcher that is constructed
+        but never used costs nothing.
         """
+        future: Future = Future()
         with self._lock:
             if self._closed:
                 raise RuntimeError("submit on a closed Dispatcher")
@@ -208,7 +235,48 @@ class Dispatcher:
                 self._executor = ThreadPoolExecutor(
                     max_workers=1, thread_name_prefix=self.name
                 )
-            return self._executor.submit(fn, *args)
+            key = None if service is None else id(service)
+            if key not in self._queues:
+                self._queues[key] = deque()
+                self._rotation.append(key)
+            self._queues[key].append((future, fn, args))
+            # One _run_next per queued item: the executor's own FIFO only
+            # counts how many items remain; *which* item each run executes
+            # is decided by the round-robin pop below.
+            self._executor.submit(self._run_next)
+        return future
+
+    def _pop_round_robin(self):
+        """Take the next item fairly: one batch per non-empty queue, in rotation."""
+        with self._lock:
+            for _ in range(len(self._rotation)):
+                key = self._rotation[0]
+                self._rotation.rotate(-1)  # the chosen key goes to the back
+                queue = self._queues.get(key)
+                if queue:
+                    item = queue.popleft()
+                    if not queue:
+                        # Drop the empty queue so a departed service's key
+                        # can't linger (or alias a recycled id) forever.
+                        del self._queues[key]
+                        self._rotation.remove(key)
+                    return item
+        return None
+
+    def _run_next(self) -> None:
+        """Execute one queued batch, chosen round-robin across services."""
+        item = self._pop_round_robin()
+        if item is None:  # every queue drained (shutdown already ran the rest)
+            return
+        future, fn, args = item
+        if not future.set_running_or_notify_cancel():
+            return
+        try:
+            result = fn(*args)
+        except BaseException as exc:
+            future.set_exception(exc)
+        else:
+            future.set_result(result)
 
     # ------------------------------------------------------------------ #
     def close(self, *, wait: bool = True) -> None:
@@ -225,6 +293,9 @@ class Dispatcher:
             executor, self._executor = self._executor, None
             self._services.clear()
         if executor is not None:
+            # Shutdown waits for the already-submitted _run_next calls —
+            # exactly one per queued batch — so every admitted batch still
+            # executes (and resolves its future) before the thread stops.
             executor.shutdown(wait=wait)
 
     def __enter__(self) -> "Dispatcher":
@@ -578,7 +649,7 @@ class FeedbackService:
                 if self._dispatcher is None:
                     self._dispatcher = Dispatcher()
                     self._dispatcher.register(self)
-                future = self._dispatcher.submit(self.score_batch, jobs)
+                future = self._dispatcher.submit(self.score_batch, jobs, service=self)
         except BaseException:
             # The batch never reached the dispatcher; give its slot back so a
             # failed submission cannot wedge the in-flight accounting.

@@ -42,6 +42,24 @@ class TestDocumentationFiles:
         ):
             assert needle in text, f"docs/serving.md no longer documents {needle!r}"
 
+    def test_pipeline_streaming_guide_exists(self):
+        guide = REPO_ROOT / "docs" / "pipeline.md"
+        assert guide.is_file(), "docs/pipeline.md is missing"
+        text = guide.read_text()
+        for needle in (
+            "PairStream",
+            "DPODatasetWriter",
+            "DatasetHandle",
+            "stream_training",
+            "stream_warmup_fraction",    # the warm-up knob is documented
+            "first_trainable_pair_seconds",
+            "Determinism",               # the guarantees section survives
+            "pairs-output",
+        ):
+            assert needle in text, f"docs/pipeline.md no longer documents {needle!r}"
+        readme = (REPO_ROOT / "README.md").read_text()
+        assert "docs/pipeline.md" in readme, "README.md no longer links the pipeline guide"
+
 
 def _public_symbols(module):
     for name in module.__all__:
@@ -90,6 +108,34 @@ class TestPublicApiDocstrings:
         ]
         assert not missing, f"ServingConfig fields absent from its docstring: {missing}"
 
+    def test_every_public_dpo_stream_symbol_has_a_docstring(self):
+        import repro.dpo.stream as stream
+
+        undocumented = [
+            name
+            for name in dir(stream)
+            if not name.startswith("_")
+            and getattr(getattr(stream, name), "__module__", None) == stream.__name__
+            and not (getattr(stream, name).__doc__ or "").strip()
+        ]
+        assert not undocumented, f"repro.dpo.stream symbols missing docstrings: {undocumented}"
+
+    def test_stream_public_methods_are_documented(self):
+        from repro.dpo.stream import DatasetHandle, DPODatasetWriter, PairStream
+
+        for cls in (PairStream, DatasetHandle, DPODatasetWriter):
+            undocumented = [
+                f"{cls.__name__}.{name}"
+                for name, member in vars(cls).items()
+                if not name.startswith("_")
+                and (inspect.isfunction(member) or isinstance(member, property))
+                and not (
+                    (member.fget.__doc__ if isinstance(member, property) else member.__doc__)
+                    or ""
+                ).strip()
+            ]
+            assert not undocumented, f"undocumented public methods: {undocumented}"
+
     def test_every_public_ranker_symbol_has_a_docstring(self):
         import repro.feedback.ranker as ranker
 
@@ -115,6 +161,7 @@ class TestPublicApiDocstrings:
         import repro.serving.metrics
         import repro.serving.scheduler
         import repro.feedback.ranker
+        import repro.dpo.stream
 
         for module in (
             repro.serving,
@@ -126,5 +173,6 @@ class TestPublicApiDocstrings:
             repro.serving.metrics,
             repro.serving.scheduler,
             repro.feedback.ranker,
+            repro.dpo.stream,
         ):
             assert (module.__doc__ or "").strip(), f"{module.__name__} has no module docstring"

@@ -1,0 +1,447 @@
+"""The streaming DPO training-data path: stream → writer → handle → trainer.
+
+The contracts under test:
+
+* ``PairStream`` delivers pairs in put order, applies back-pressure at its
+  bound, and propagates producer failures (``abort``) to the consumer;
+* ``DatasetHandle`` append/seal/fail/wait semantics: appends after seal
+  raise, waiters are released by seal *and* by fail (re-raising), warm-up
+  gating follows producer progress;
+* a ``DPODatasetWriter``-built dataset — no matter how the pairs' arrival is
+  chunked or timed — equals ``DPODataset.from_preference_pairs`` exactly
+  (pair order, token ids, masks), and its JSONL spill round-trips;
+* ``DPOTrainer.train`` on a handle: the blocking path is bitwise-identical
+  to training on the sealed dataset directly; the streamed path consumes
+  every pair exactly once across the epoch boundary and is reproducible;
+* end to end, ``DPOAFPipeline.run(stream_training=True)`` produces the same
+  preference pairs as the blocking run and a sealed dataset equal to the
+  blocking-built one on all three serving backends.
+"""
+
+import dataclasses
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.dpo import (
+    DatasetHandle,
+    DPODataset,
+    DPODatasetWriter,
+    PairStream,
+    StreamClosed,
+    encode_preference_pair,
+    read_encoded_pairs,
+)
+from repro.errors import TrainingError
+from repro.feedback import PreferencePair
+from repro.lm import Tokenizer
+
+
+@pytest.fixture(scope="module")
+def toy_tokenizer() -> Tokenizer:
+    texts = [
+        'Steps for "turn right" :',
+        "1. observe the light.\n2. if green, turn right.",
+        "1. turn right.",
+        "1. drive carefully.",
+        "1. stop at the line.\n2. wait for green.",
+    ]
+    return Tokenizer.fit(texts)
+
+
+def _toy_pairs(count: int = 6) -> list:
+    prompt = 'Steps for "turn right" :'
+    responses = [
+        "1. observe the light.\n2. if green, turn right.",
+        "1. turn right.",
+        "1. drive carefully.",
+        "1. stop at the line.\n2. wait for green.",
+    ]
+    pairs = []
+    for i in range(count):
+        chosen = responses[i % len(responses)]
+        rejected = responses[(i + 1) % len(responses)]
+        pairs.append(
+            PreferencePair(
+                prompt=prompt,
+                chosen=chosen,
+                rejected=rejected,
+                chosen_score=float(10 - i),
+                rejected_score=float(i),
+                task=f"task_{i}",
+            )
+        )
+    return pairs
+
+
+class TestPairStream:
+    def test_delivers_in_put_order(self):
+        stream = PairStream()
+        pairs = _toy_pairs(5)
+        stream.put_many(pairs)
+        stream.close()
+        assert list(stream) == pairs
+
+    def test_put_after_close_raises(self):
+        stream = PairStream()
+        stream.close()
+        with pytest.raises(StreamClosed):
+            stream.put(_toy_pairs(1)[0])
+
+    def test_bounded_put_blocks_until_consumed(self):
+        stream = PairStream(maxsize=2)
+        pairs = _toy_pairs(4)
+        produced = []
+
+        def produce():
+            for pair in pairs:
+                stream.put(pair)
+                produced.append(pair)
+            stream.close()
+
+        producer = threading.Thread(target=produce, daemon=True)
+        producer.start()
+        deadline = time.monotonic() + 5
+        while len(produced) < 2 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        time.sleep(0.05)
+        # At the bound: two pairs in, the third put is blocked.
+        assert len(produced) == 2, "producer should block at maxsize"
+        consumed = list(stream)  # draining releases the producer
+        producer.join(timeout=5)
+        assert not producer.is_alive()
+        assert consumed == pairs
+        assert stream.blocked_seconds > 0
+
+    def test_abort_propagates_to_consumer_and_unblocks_producer(self):
+        stream = PairStream(maxsize=1)
+        stream.put(_toy_pairs(1)[0])
+        blocked = threading.Thread(target=lambda: _swallow(stream.put, _toy_pairs(2)[1]), daemon=True)
+        blocked.start()
+        stream.abort(RuntimeError("producer died"))
+        blocked.join(timeout=5)
+        assert not blocked.is_alive(), "abort must unblock a producer stuck on the bound"
+        with pytest.raises(RuntimeError, match="producer died"):
+            list(stream)
+
+
+def _swallow(fn, *args):
+    try:
+        fn(*args)
+    except Exception:
+        pass
+
+
+class TestDatasetHandle:
+    def _handle(self, tokenizer) -> DatasetHandle:
+        return DatasetHandle(DPODataset(pairs=[], tokenizer=tokenizer, max_seq_len=48))
+
+    def test_append_after_seal_raises(self, toy_tokenizer):
+        handle = self._handle(toy_tokenizer)
+        encoded = encode_preference_pair(_toy_pairs(1)[0], toy_tokenizer, max_seq_len=48)
+        handle.append(encoded)
+        handle.seal()
+        with pytest.raises(TrainingError):
+            handle.append(encoded)
+        assert len(handle) == 1 and handle.sealed
+
+    def test_wait_available_returns_at_seal_with_fewer_pairs(self, toy_tokenizer):
+        handle = self._handle(toy_tokenizer)
+        encoded = encode_preference_pair(_toy_pairs(1)[0], toy_tokenizer, max_seq_len=48)
+        handle.append(encoded)
+
+        results = {}
+
+        def wait():
+            results["end"] = handle.wait_available(10)
+
+        waiter = threading.Thread(target=wait, daemon=True)
+        waiter.start()
+        time.sleep(0.05)
+        assert waiter.is_alive(), "wait_available should block until seal"
+        handle.seal()
+        waiter.join(timeout=5)
+        assert results["end"] == 1
+
+    def test_wait_trainable_gates_on_progress_and_first_pair(self, toy_tokenizer):
+        handle = self._handle(toy_tokenizer)
+        encoded = encode_preference_pair(_toy_pairs(1)[0], toy_tokenizer, max_seq_len=48)
+        # Progress alone is not trainable: at least one pair must have landed.
+        handle.report_progress(3, 4)
+        with pytest.raises(TimeoutError):
+            handle.wait_trainable(0.5, timeout=0.05)
+        handle.append(encoded)
+        assert handle.wait_trainable(0.5, timeout=5) == 1
+        # A higher threshold still waits; seal satisfies it unconditionally.
+        with pytest.raises(TimeoutError):
+            handle.wait_trainable(0.9, timeout=0.05)
+        handle.seal()
+        assert handle.wait_trainable(0.9, timeout=5) == 1
+        assert handle.progress == 1.0
+
+    def test_wait_trainable_rejects_bad_fraction(self, toy_tokenizer):
+        handle = self._handle(toy_tokenizer)
+        with pytest.raises(ValueError):
+            handle.wait_trainable(1.5)
+
+    def test_fail_releases_waiters_with_the_error(self, toy_tokenizer):
+        handle = self._handle(toy_tokenizer)
+        errors = []
+
+        def wait():
+            try:
+                handle.wait_sealed()
+            except RuntimeError as exc:
+                errors.append(exc)
+
+        waiter = threading.Thread(target=wait, daemon=True)
+        waiter.start()
+        handle.fail(RuntimeError("upstream crashed"))
+        waiter.join(timeout=5)
+        assert errors and "upstream crashed" in str(errors[0])
+        with pytest.raises(RuntimeError):
+            handle.dataset()
+
+
+class TestDatasetWriter:
+    def test_streamed_dataset_equals_blocking_built(self, toy_tokenizer):
+        """Property: however arrival is chunked, the sealed dataset matches
+        DPODataset.from_preference_pairs exactly."""
+        pairs = _toy_pairs(8)
+        blocking = DPODataset.from_preference_pairs(pairs, toy_tokenizer, max_seq_len=48)
+        rng = np.random.default_rng(7)
+        for _ in range(10):
+            stream = PairStream(maxsize=int(rng.integers(1, 5)))
+            writer = DPODatasetWriter(toy_tokenizer, max_seq_len=48)
+
+            def produce():
+                position = 0
+                while position < len(pairs):
+                    chunk = int(rng.integers(1, 4))
+                    stream.put_many(pairs[position: position + chunk])
+                    position += chunk
+                    time.sleep(float(rng.random()) * 0.002)
+                stream.close()
+
+            producer = threading.Thread(target=produce, daemon=True)
+            producer.start()
+            handle = writer.consume(stream)
+            producer.join(timeout=5)
+            sealed = handle.dataset()
+            assert sealed.pairs == blocking.pairs  # order, ids, masks — all of it
+            assert writer.telemetry.pairs_encoded == len(pairs)
+            assert writer.telemetry.first_pair_seconds is not None
+
+    def test_spill_round_trips_and_is_atomic(self, toy_tokenizer, tmp_path):
+        pairs = _toy_pairs(5)
+        spill = tmp_path / "pairs.jsonl"
+        writer = DPODatasetWriter(toy_tokenizer, max_seq_len=48, spill_path=spill)
+        for pair in pairs:
+            writer.append(pair)
+        # Incremental writes go to a tmp sibling; the final path appears at seal.
+        assert not spill.exists()
+        assert list(tmp_path.glob("pairs.jsonl.tmp.*"))
+        writer.seal()
+        assert spill.exists()
+        assert list(tmp_path.glob("pairs.jsonl.tmp.*")) == []
+        reloaded = read_encoded_pairs(spill)
+        assert reloaded == writer.handle.dataset().pairs
+
+    def test_failed_writer_drops_partial_spill(self, toy_tokenizer, tmp_path):
+        spill = tmp_path / "pairs.jsonl"
+        writer = DPODatasetWriter(toy_tokenizer, max_seq_len=48, spill_path=spill)
+        writer.append(_toy_pairs(1)[0])
+        writer.fail(RuntimeError("boom"))
+        assert not spill.exists()
+        assert list(tmp_path.glob("pairs.jsonl.tmp.*")) == []
+
+    def test_read_encoded_pairs_rejects_corrupt_lines(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"chosen_ids": [1]}\n')
+        with pytest.raises(ValueError):
+            read_encoded_pairs(bad)
+
+    def test_failed_seal_fails_the_handle_instead_of_deadlocking(self, toy_tokenizer, tmp_path):
+        """Regression: if committing the spill raises at seal time, a trainer
+        blocked on the handle must be released with the error, not left
+        waiting forever for a seal that cannot happen."""
+        import shutil
+
+        spill_dir = tmp_path / "spill"
+        writer = DPODatasetWriter(toy_tokenizer, max_seq_len=48, spill_path=spill_dir / "pairs.jsonl")
+        writer.append(_toy_pairs(1)[0])
+        shutil.rmtree(spill_dir)  # the commit's os.replace target vanishes
+        with pytest.raises(OSError):
+            writer.seal()
+        assert writer.handle.sealed
+        with pytest.raises(OSError):
+            writer.handle.wait_sealed(timeout=1)
+
+    def test_fail_still_fails_the_handle_when_spill_cleanup_raises(self, toy_tokenizer, tmp_path):
+        """Regression: a spill close() re-raising (e.g. ENOSPC on flush) must
+        not prevent the handle from being failed — waiters would hang."""
+        writer = DPODatasetWriter(toy_tokenizer, max_seq_len=48, spill_path=tmp_path / "pairs.jsonl")
+
+        class ExplodingFile:
+            def close(self):
+                raise OSError("no space left on device")
+
+            def write(self, _text):
+                raise OSError("no space left on device")
+
+        writer._spill_file = ExplodingFile()
+        writer.fail(RuntimeError("original failure"))
+        with pytest.raises(RuntimeError, match="original failure"):
+            writer.handle.wait_sealed(timeout=1)
+
+    def test_consume_aborted_stream_fails_handle_and_raises(self, toy_tokenizer):
+        stream = PairStream()
+        stream.put(_toy_pairs(1)[0])
+        writer = DPODatasetWriter(toy_tokenizer, max_seq_len=48)
+
+        def abort_soon():
+            time.sleep(0.02)
+            stream.abort(RuntimeError("verification failed"))
+
+        threading.Thread(target=abort_soon, daemon=True).start()
+        with pytest.raises(RuntimeError, match="verification failed"):
+            writer.consume(stream)
+        with pytest.raises(RuntimeError, match="verification failed"):
+            writer.handle.wait_sealed()
+
+
+class TestTrainerWithHandle:
+    def _model(self, tokenizer):
+        from repro.lm import ModelConfig, TransformerLM
+
+        config = ModelConfig(
+            vocab_size=tokenizer.vocab_size, max_seq_len=48, dim=16, num_heads=2, num_layers=1, hidden_dim=32
+        )
+        return TransformerLM(config, seed=0)
+
+    def test_blocking_handle_training_matches_dataset_training(self, toy_tokenizer):
+        from repro.dpo import DPOConfig, DPOTrainer
+
+        pairs = _toy_pairs(6)
+        dataset = DPODataset.from_preference_pairs(pairs, toy_tokenizer, max_seq_len=48)
+        config = DPOConfig(num_epochs=2, batch_size=3, checkpoint_every=1, lora_rank=2, seed=0)
+
+        direct = DPOTrainer(self._model(toy_tokenizer), toy_tokenizer, config).train(dataset)
+
+        writer = DPODatasetWriter(toy_tokenizer, max_seq_len=48)
+        for pair in pairs:
+            writer.append(pair)
+        writer.seal()
+        via_handle = DPOTrainer(self._model(toy_tokenizer), toy_tokenizer, config).train(writer.handle)
+
+        assert via_handle.history.losses == direct.history.losses
+        for key, value in direct.policy.state_dict().items():
+            assert np.array_equal(via_handle.policy.state_dict()[key], value), key
+
+    def test_streamed_training_consumes_every_pair_once_and_is_reproducible(self, toy_tokenizer):
+        """Epoch-boundary semantics: the streamed epoch drains the growing
+        prefix exactly once, waits for the seal, and later epochs shuffle the
+        sealed dataset — identically however arrival was timed."""
+        from repro.dpo import DPOConfig, DPOTrainer
+
+        pairs = _toy_pairs(7)
+        config = DPOConfig(num_epochs=3, batch_size=3, checkpoint_every=1, lora_rank=2, seed=0)
+        results = []
+        for delay in (0.0, 0.005):
+            writer = DPODatasetWriter(toy_tokenizer, max_seq_len=48)
+            handle = writer.handle
+
+            def produce(delay=delay, writer=writer):
+                for i, pair in enumerate(pairs):
+                    writer.append(pair)
+                    handle.report_progress(i + 1, len(pairs))
+                    if delay:
+                        time.sleep(delay)
+                writer.seal()
+
+            producer = threading.Thread(target=produce, daemon=True)
+            producer.start()
+            trainer = DPOTrainer(self._model(toy_tokenizer), toy_tokenizer, config)
+            result = trainer.train(handle, stream=True, warmup_fraction=0.25)
+            producer.join(timeout=5)
+            assert trainer.first_batch_ready_seconds is not None
+            # 3 epochs over 7 pairs at batch 3: epoch 1 streams ceil windows,
+            # epochs 2-3 shuffle 3 batches each.
+            assert result.history.num_epochs == 3
+            results.append(result)
+
+        fast, slow = results
+        assert fast.history.losses == slow.history.losses, "streamed training must not depend on timing"
+        for key, value in fast.policy.state_dict().items():
+            assert np.array_equal(slow.policy.state_dict()[key], value), key
+
+    def test_streamed_training_on_empty_handle_raises(self, toy_tokenizer):
+        from repro.dpo import DPOConfig, DPOTrainer
+
+        writer = DPODatasetWriter(toy_tokenizer, max_seq_len=48)
+        writer.seal()
+        trainer = DPOTrainer(self._model(toy_tokenizer), toy_tokenizer, DPOConfig(num_epochs=1))
+        with pytest.raises(TrainingError):
+            trainer.train(writer.handle, stream=True)
+
+
+class TestPipelineStreaming:
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_sealed_streamed_dataset_equals_blocking_dataset(self, backend, tmp_path):
+        """Acceptance: on every backend, the streaming run collects the same
+        pairs as the blocking run and its sealed dataset equals the
+        blocking-built one (pair order, token ids, masks)."""
+        from repro.core import DPOAFPipeline
+        from repro.core.config import quick_pipeline_config
+        from repro.driving import core_specifications, training_tasks
+        from repro.serving import ServingConfig
+
+        base = quick_pipeline_config(seed=0)
+        spill = tmp_path / f"pairs-{backend}.jsonl"
+        serving = ServingConfig(backend=backend, max_workers=2)
+        blocking_cfg = dataclasses.replace(base, serving=serving)
+        streaming_cfg = dataclasses.replace(
+            base,
+            serving=serving,
+            stream_training=True,
+            stream_warmup_fraction=0.25,
+            stream_pairs_path=str(spill),
+        )
+        kwargs = dict(
+            specifications=core_specifications(), tasks=training_tasks()[:2], validation=()
+        )
+        with DPOAFPipeline(blocking_cfg, **kwargs) as pipeline:
+            blocking = pipeline.run()
+        with DPOAFPipeline(streaming_cfg, **kwargs) as pipeline:
+            streamed = pipeline.run()
+
+        assert streamed.preference_pairs == blocking.preference_pairs, backend
+
+        tokenizer = blocking.pretrain_result.tokenizer
+        max_seq_len = blocking.pretrain_result.model.config.max_seq_len
+        blocking_dataset = DPODataset.from_preference_pairs(
+            blocking.preference_pairs, tokenizer, max_seq_len=max_seq_len
+        )
+        assert read_encoded_pairs(spill) == blocking_dataset.pairs, backend
+
+        telemetry = streamed.stream_telemetry
+        assert telemetry["pairs_encoded"] == len(blocking.preference_pairs)
+        assert telemetry["first_trainable_pair_seconds"] is not None
+        assert telemetry["spill_path"] == str(spill)
+
+    def test_default_config_keeps_the_blocking_path(self):
+        from repro.core.config import PipelineConfig
+
+        config = PipelineConfig()
+        assert config.stream_training is False
+
+    def test_config_rejects_bad_stream_values(self):
+        from repro.core.config import PipelineConfig
+
+        with pytest.raises(ValueError):
+            PipelineConfig(stream_warmup_fraction=1.5)
+        with pytest.raises(ValueError):
+            PipelineConfig(stream_buffer_pairs=-1)

@@ -179,3 +179,127 @@ class TestConfiguredCompaction:
         report = directory.compact(max_bytes=budget)
         assert report.total_bytes <= budget
         assert sum(path.stat().st_size for path in directory.shard_files()) <= budget
+
+
+class TestCrossProcessCompactionLock:
+    """Two processes compacting one ``shared_cache_dir`` must coordinate:
+    the directory-level ``compact.lock`` admits one compactor at a time,
+    and a lock left by a crashed process is taken over after it goes stale."""
+
+    def test_held_lock_skips_compaction(self, tmp_path):
+        directory = CacheDirectory(tmp_path)
+        _store_numbered_shard(directory, "fp", 10)
+        lock = tmp_path / CacheDirectory.COMPACT_LOCK_NAME
+        lock.write_text("pid=12345 started=now\n")  # a live peer, mid-compaction
+        report = directory.compact(max_entries=3)
+        assert report.skipped is True
+        assert report.trimmed_shards == 0
+        assert len(directory.shard_entries("fp")) == 10, "a skipped pass must not touch shards"
+        assert lock.exists(), "a held lock must never be stolen while fresh"
+
+    def test_stale_lock_is_taken_over(self, tmp_path):
+        directory = CacheDirectory(tmp_path)
+        _store_numbered_shard(directory, "fp", 10)
+        lock = tmp_path / CacheDirectory.COMPACT_LOCK_NAME
+        lock.write_text("pid=12345 started=long-ago\n")
+        os.utime(lock, (1_000_000, 1_000_000))  # crashed holder: ancient mtime
+        report = directory.compact(max_entries=3, stale_lock_seconds=60)
+        assert report.skipped is False
+        assert report.trimmed_shards == 1
+        assert len(directory.shard_entries("fp")) == 3
+        assert not lock.exists(), "the winner must release the taken-over lock"
+
+    def test_release_never_deletes_a_lock_owned_by_another_process(self, tmp_path):
+        """Regression: a holder whose lock was taken over (it outlived the
+        stale timeout) must not unlink the new owner's lock on release."""
+        directory = CacheDirectory(tmp_path)
+        assert directory._try_acquire_compaction_lock(60.0)
+        lock = tmp_path / CacheDirectory.COMPACT_LOCK_NAME
+        lock.write_text("pid=999999\n")  # a takeover re-owned the lock
+        directory._release_compaction_lock()
+        assert lock.exists(), "release must leave another owner's lock alone"
+        lock.unlink()
+
+    def test_compaction_renews_its_lease_while_running(self, tmp_path):
+        directory = CacheDirectory(tmp_path)
+        assert directory._try_acquire_compaction_lock(60.0)
+        lock = tmp_path / CacheDirectory.COMPACT_LOCK_NAME
+        os.utime(lock, (1_000_000, 1_000_000))  # pretend the work ran long
+        directory._touch_compaction_lock()
+        import time as _time
+
+        assert _time.time() - lock.stat().st_mtime < 60, "touch must refresh the lease"
+        directory._release_compaction_lock()
+        assert not lock.exists()
+
+    def test_takeover_backs_off_from_a_fresh_lock(self, tmp_path):
+        """The rename-aside claim re-checks freshness: a live lock that
+        replaced the stale one between stat and rename is restored."""
+        directory = CacheDirectory(tmp_path)
+        lock = tmp_path / CacheDirectory.COMPACT_LOCK_NAME
+        lock.write_text("pid=424242\n")  # fresh mtime: a live holder
+        assert directory._takeover_stale_lock(lock, stale_after=3600) is False
+        assert lock.exists(), "a live holder's lock must be restored"
+        assert lock.read_text() == "pid=424242\n"
+        assert not list(tmp_path.glob(f"{CacheDirectory.COMPACT_LOCK_NAME}.stale.*"))
+
+    def test_compaction_releases_its_lock(self, tmp_path):
+        directory = CacheDirectory(tmp_path)
+        _store_numbered_shard(directory, "fp", 10)
+        directory.compact(max_entries=3)
+        assert not (tmp_path / CacheDirectory.COMPACT_LOCK_NAME).exists()
+
+    def test_two_live_processes_one_compactor(self, tmp_path):
+        """A real second process holds the lock while this one tries to
+        compact; once the peer exits (lock released), compaction proceeds."""
+        import subprocess
+        import sys
+
+        directory = CacheDirectory(tmp_path)
+        _store_numbered_shard(directory, "fp", 10)
+        child = subprocess.Popen(
+            [
+                sys.executable,
+                "-c",
+                (
+                    "import sys\n"
+                    "from repro.serving import CacheDirectory\n"
+                    "directory = CacheDirectory(sys.argv[1])\n"
+                    "assert directory._try_acquire_compaction_lock(60.0)\n"
+                    "print('held', flush=True)\n"
+                    "sys.stdin.readline()  # hold until the parent says so\n"
+                    "directory._release_compaction_lock()\n"
+                    "print('released', flush=True)\n"
+                ),
+                str(tmp_path),
+            ],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            text=True,
+            env={**os.environ, "PYTHONPATH": str(_repo_src())},
+        )
+        try:
+            assert child.stdout.readline().strip() == "held"
+            blocked = directory.compact(max_entries=3, stale_lock_seconds=60)
+            assert blocked.skipped is True
+            assert len(directory.shard_entries("fp")) == 10
+
+            child.stdin.write("done\n")
+            child.stdin.flush()
+            assert child.stdout.readline().strip() == "released"
+            child.wait(timeout=10)
+
+            report = directory.compact(max_entries=3, stale_lock_seconds=60)
+            assert report.skipped is False
+            assert report.trimmed_shards == 1
+            assert len(directory.shard_entries("fp")) == 3
+        finally:
+            if child.poll() is None:
+                child.kill()
+                child.wait(timeout=10)
+
+
+def _repo_src():
+    from pathlib import Path
+
+    return Path(__file__).resolve().parents[2] / "src"

@@ -448,6 +448,67 @@ class TestCli:
         assert main([str(jsonl), "--batch-size", "0"]) == 2
         assert "--batch-size must be positive" in capsys.readouterr().err
 
+    def test_pairs_output_writes_encoded_preference_pairs(self, tmp_path, capsys):
+        """--pairs-output emits the DPODatasetWriter spill format: per-task
+        canonically ranked pairs, reloadable as EncodedPair records."""
+        from repro.dpo.stream import read_encoded_pairs
+        from repro.serving.cli import main
+
+        jsonl, records = self._streaming_workload(tmp_path)
+        pairs_path = tmp_path / "pairs.jsonl"
+        argv = [str(jsonl), "--core-specs", "--backend", "serial",
+                "-o", str(tmp_path / "out.jsonl"), "--pairs-output", str(pairs_path)]
+        assert main(argv) == 0
+        err = capsys.readouterr().err
+        assert "encoded preference pairs" in err and "encode stage" in err
+        encoded = read_encoded_pairs(pairs_path)
+        tasks_seen = {pair.task for pair in encoded}
+        assert tasks_seen <= {record["task"] for record in records}
+        for pair in encoded:
+            assert pair.chosen_ids and pair.rejected_ids
+            assert 0 < pair.chosen_response_start < len(pair.chosen_ids)
+
+    def test_pairs_output_is_byte_identical_blocking_vs_streaming(self, tmp_path, capsys):
+        """Acceptance: the encoded-pair file must not depend on how the
+        scores were obtained (one blocking batch vs async streaming)."""
+        from repro.serving.cli import main
+
+        jsonl, _ = self._streaming_workload(tmp_path)
+        blocking_pairs = tmp_path / "blocking-pairs.jsonl"
+        streaming_pairs = tmp_path / "streaming-pairs.jsonl"
+        base = [str(jsonl), "--core-specs", "--backend", "serial", "-o"]
+        assert main(base + [str(tmp_path / "b.jsonl"), "--pairs-output", str(blocking_pairs)]) == 0
+        assert (
+            main(
+                base
+                + [str(tmp_path / "s.jsonl"), "--pairs-output", str(streaming_pairs),
+                   "--batch-size", "2", "--max-inflight-batches", "2"]
+            )
+            == 0
+        )
+        assert streaming_pairs.read_bytes() == blocking_pairs.read_bytes()
+
+    def test_pairs_output_covers_off_catalogue_tasks(self, tmp_path, capsys):
+        """Records scored via an explicit scenario still group into pairs,
+        with a prompt synthesised from the task name."""
+        import json
+
+        from repro.dpo.stream import read_encoded_pairs
+        from repro.serving.cli import main
+
+        jsonl = tmp_path / "in.jsonl"
+        jsonl.write_text(
+            json.dumps({"task": "custom_merge", "scenario": "highway_merge",
+                        "response": "1. Go straight onto the highway."}) + "\n"
+            + json.dumps({"task": "custom_merge", "scenario": "highway_merge",
+                          "response": "1. Stop."}) + "\n"
+        )
+        pairs_path = tmp_path / "pairs.jsonl"
+        assert main([str(jsonl), "--core-specs", "--backend", "serial",
+                     "-o", str(tmp_path / "out.jsonl"), "--pairs-output", str(pairs_path)]) == 0
+        encoded = read_encoded_pairs(pairs_path)
+        assert all(pair.task == "custom_merge" for pair in encoded)
+
 
 class TestJobLevelApi:
     def test_score_batch_mixed_scenarios(self):
