@@ -7,11 +7,15 @@
 #                         benchmarks/conftest.py
 #   make bench-multicore  only the multicore speedup assertions (needs >= 2
 #                         CPU cores; they skip themselves otherwise)
+#   make trace-demo       traced quick-pipeline run -> runs/quick.trace.json
+#                         (load it in https://ui.perfetto.dev) plus the
+#                         terminal report (hottest specs, stage breakdown)
 
 PYTHON ?= python
 PYTEST := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) $(PYTHON) -m pytest
+PYRUN := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) $(PYTHON)
 
-.PHONY: tier1 bench bench-multicore
+.PHONY: tier1 bench bench-multicore trace-demo
 
 tier1:
 	$(PYTEST) -x -q
@@ -21,3 +25,6 @@ bench:
 
 bench-multicore:
 	$(PYTEST) benchmarks -q -s -m multicore
+
+trace-demo:
+	$(PYRUN) examples/trace_demo.py runs/quick.trace.json

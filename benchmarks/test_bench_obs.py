@@ -1,0 +1,123 @@
+"""Overhead of the tracing layer (ISSUE acceptance bounds).
+
+Measured claims: with tracing *disabled* (the default ``NullTracer``), the
+per-span cost is a shared no-op context manager — the bound asserted here is
+that the no-op cost summed over every span the traced run actually emitted
+stays under 2% of the untraced wall clock.  With tracing *enabled* (JSONL
+shard sink flushing every record), a fully-instrumented verification workload
+stays within 10% of the untraced baseline.  Both runs must produce
+bitwise-identical scores — the parity tests in ``tests/obs`` assert that on
+every backend; here it is re-checked on the measured workload so the numbers
+in the table describe equivalent work.
+"""
+
+import time
+import timeit
+
+from repro.core.config import FeedbackConfig
+from repro.driving import all_specifications, response_templates, training_tasks
+from repro.obs import tracer as obs
+from repro.obs.tracer import Tracer
+from repro.serving import FeedbackJob, FeedbackService, ServingConfig
+
+from conftest import print_table
+
+#: Acceptance bounds from the issue: disabled <2%, enabled <10%.
+DISABLED_OVERHEAD_BOUND = 0.02
+ENABLED_OVERHEAD_BOUND = 0.10
+
+
+def _workload() -> list:
+    """Cold verification jobs — no cache, no dedup, all formal checking."""
+    jobs = []
+    for task in training_tasks()[:4]:
+        for kind in ("compliant", "flawed"):
+            for response in response_templates(task.name, kind):
+                jobs.append(FeedbackJob(task=task.name, scenario=task.scenario, response=response))
+    return jobs
+
+
+def _score(jobs: list) -> tuple:
+    """One cold pass with serving disabled: every job is verified, every
+    verification emits mc.* spans when a tracer is installed."""
+    service = FeedbackService(
+        all_specifications(), feedback=FeedbackConfig(), config=ServingConfig(enabled=False)
+    )
+    start = time.perf_counter()
+    scores = service.score_batch(jobs)
+    return scores, time.perf_counter() - start
+
+
+def test_bench_obs_tracing_overhead(benchmark, tmp_path):
+    jobs = _workload()
+
+    def run():
+        # Interleave baseline and traced passes to cancel drift; keep the best
+        # of two for each so a scheduler hiccup doesn't decide the ratio.
+        obs.uninstall_tracer()
+        baseline_scores, warmup_seconds = _score(jobs)  # warm imports/caches
+        baseline_seconds = min(_score(jobs)[1], _score(jobs)[1])
+        tracer = obs.install_tracer(Tracer.for_trace_file(tmp_path / "run.trace.json"))
+        try:
+            traced_scores, _ = _score(jobs)
+            traced_seconds = min(_score(jobs)[1], _score(jobs)[1])
+            span_count = len(tracer.all_spans())
+        finally:
+            obs.uninstall_tracer()
+            tracer.close()
+        # Disabled cost: the measured price of one no-op span round trip,
+        # multiplied by how many spans this workload would have emitted.
+        noop_iterations = 100_000
+        noop_seconds = timeit.timeit(
+            lambda: obs.span("mc.check", category="modelcheck", spec="phi_1").__enter__()
+            or obs.current_tracer(),
+            number=noop_iterations,
+        )
+        per_noop = noop_seconds / noop_iterations
+        return (
+            baseline_scores,
+            traced_scores,
+            baseline_seconds,
+            traced_seconds,
+            span_count,
+            per_noop,
+            warmup_seconds,
+        )
+
+    (
+        baseline_scores,
+        traced_scores,
+        baseline_seconds,
+        traced_seconds,
+        span_count,
+        per_noop,
+        warmup_seconds,
+    ) = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    enabled_overhead = traced_seconds / baseline_seconds - 1.0
+    disabled_overhead = (span_count * per_noop) / baseline_seconds
+    print_table(
+        "Tracing overhead — cold verification workload",
+        ["mode", "seconds", "overhead vs off"],
+        [
+            ("untraced (NullTracer)", baseline_seconds, "—"),
+            ("traced (JSONL sink)", traced_seconds, f"{enabled_overhead:+.1%}"),
+            (
+                f"disabled, {span_count} no-op spans",
+                span_count * per_noop,
+                f"{disabled_overhead:+.2%}",
+            ),
+        ],
+    )
+    assert traced_scores == baseline_scores, "tracing must not change scores"
+    assert span_count > 100, "the traced pass should have recorded real spans"
+    assert disabled_overhead < DISABLED_OVERHEAD_BOUND, (
+        f"disabled tracing costs {disabled_overhead:.2%} of the run "
+        f"({span_count} spans x {per_noop * 1e9:.0f}ns no-op), bound is "
+        f"{DISABLED_OVERHEAD_BOUND:.0%}"
+    )
+    assert enabled_overhead < ENABLED_OVERHEAD_BOUND, (
+        f"enabled tracing adds {enabled_overhead:.1%}, bound is "
+        f"{ENABLED_OVERHEAD_BOUND:.0%}: traced {traced_seconds:.2f}s vs "
+        f"untraced {baseline_seconds:.2f}s"
+    )

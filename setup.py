@@ -37,6 +37,7 @@ setup(
     entry_points={
         "console_scripts": [
             "repro-serve=repro.serving.cli:main",
+            "repro-trace=repro.obs.cli:main",
         ],
     },
     classifiers=[

@@ -45,6 +45,13 @@ class PipelineConfig:
     re-ranking or re-tokenising); ``stream_buffer_pairs`` bounds
     the pair channel between verification and encoding (back-pressure on the
     producer; 0 means unbounded).
+
+    ``trace_path`` enables run tracing: spans from every stage (sampling,
+    verification — worker processes included — pair construction, training)
+    are exported to this path as a Chrome/Perfetto trace-event file at the
+    end of :meth:`~repro.core.pipeline.DPOAFPipeline.run`, summarisable with
+    ``repro-trace report``.  ``None`` (the default) keeps tracing off, with
+    results bitwise-identical to a traced run.
     """
 
     pretrain: PretrainConfig = field(default_factory=PretrainConfig)
@@ -58,6 +65,7 @@ class PipelineConfig:
     stream_warmup_fraction: float = 0.25
     stream_pairs_path: str | None = None
     stream_buffer_pairs: int = 4096
+    trace_path: str | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.stream_warmup_fraction <= 1.0:

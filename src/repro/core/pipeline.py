@@ -48,6 +48,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs import tracer as obs
+from repro.obs.metrics import MetricsRegistry
 from repro.core.config import FeedbackConfig, PipelineConfig, SamplingConfig
 from repro.dpo.stream import DPODatasetWriter, PairStream
 from repro.dpo.trainer import DPOResult, DPOTrainer, run_dpo
@@ -187,6 +189,14 @@ class DPOAFPipeline:
             wait_action=self.config.feedback.wait_action,
             restart_on_termination=self.config.feedback.restart_on_termination,
         )
+        # Tracing must be live before the serving layer is built: the
+        # FeedbackService captures the tracer's shard directory into its
+        # worker payload at construction, which is how worker processes know
+        # where to write their span shards.
+        self._tracer: obs.Tracer | None = None
+        if self.config.trace_path is not None:
+            self._tracer = obs.Tracer.for_trace_file(self.config.trace_path)
+            obs.install_tracer(self._tracer)
         # The pipeline owns one Dispatcher and shares it with its service;
         # callers that build extra FeedbackServices (e.g. an empirical channel
         # next to the formal one) can pass the same `pipeline.dispatcher` and
@@ -199,6 +209,17 @@ class DPOAFPipeline:
             seed=self.config.seed,
             verifier=self.verifier,
             dispatcher=self.dispatcher,
+        )
+        # One registry federates every subsystem's telemetry; run() takes a
+        # single snapshot at the end and embeds it in the exported trace.
+        self.metrics_registry = MetricsRegistry()
+        self.metrics_registry.register_provider("serving", self.serving.metrics.snapshot)
+        self._last_stream_telemetry: dict = {}
+        self.metrics_registry.register_provider(
+            "stream", lambda: dict(self._last_stream_telemetry)
+        )
+        self.metrics_registry.register_provider(
+            "dispatcher", lambda: {"queued_batches": self.dispatcher.queued_batches}
         )
 
     # ------------------------------------------------------------------ #
@@ -406,29 +427,38 @@ class DPOAFPipeline:
         training dataset is identical to the blocking one, and stage timings
         land on ``PipelineResult.stream_telemetry``.
         """
-        pretrain_result = self.pretrain_model()
+        with obs.span("pipeline.pretrain", category="pipeline"):
+            pretrain_result = self.pretrain_model()
         model, tokenizer = pretrain_result.model, pretrain_result.tokenizer
 
-        before = self.evaluate_model(model, tokenizer)
+        with obs.span("pipeline.evaluate", category="pipeline", phase="before"):
+            before = self.evaluate_model(model, tokenizer)
 
         stream_telemetry: dict = {}
         if self.config.stream_training:
-            pairs, dpo_result, stream_telemetry = self._run_streaming(
-                model, tokenizer, augment_pairs=augment_pairs
-            )
+            with obs.span("pipeline.stream_train", category="pipeline"):
+                pairs, dpo_result, stream_telemetry = self._run_streaming(
+                    model, tokenizer, augment_pairs=augment_pairs
+                )
+            self._last_stream_telemetry = stream_telemetry
         else:
-            pairs = self.collect_preference_pairs(model, tokenizer)
+            with obs.span("pipeline.collect_pairs", category="pipeline"):
+                pairs = self.collect_preference_pairs(model, tokenizer)
             if augment_pairs:
-                pairs = self.augment_with_templates(pairs)
-            dpo_result = self.finetune(model, tokenizer, pairs)
+                with obs.span("pipeline.augment_pairs", category="pipeline"):
+                    pairs = self.augment_with_templates(pairs)
+            with obs.span("pipeline.train", category="pipeline"):
+                dpo_result = self.finetune(model, tokenizer, pairs)
 
-        after = self.evaluate_model(dpo_result.policy, tokenizer)
+        with obs.span("pipeline.evaluate", category="pipeline", phase="after"):
+            after = self.evaluate_model(dpo_result.policy, tokenizer)
         checkpoint_evaluations = (
             self.evaluate_checkpoints(dpo_result, tokenizer) if evaluate_checkpoints else {}
         )
         self.serving.flush()
         serving_metrics = self.serving.metrics.snapshot()
         serving_metrics["cache"] = dataclasses.asdict(self.serving.cache.stats())
+        self._export_trace()
         return PipelineResult(
             pretrain_result=pretrain_result,
             dpo_result=dpo_result,
@@ -487,30 +517,8 @@ class DPOAFPipeline:
         def produce() -> None:
             started = time.perf_counter()
             try:
-                rng = seeded_rng(self.config.seed)
-                stages = [
-                    (
-                        self._submit_sampled_batches(
-                            sample_model, tokenizer, sampling=self.config.sampling, rng=rng
-                        ),
-                        self._build_task_pairs,
-                    )
-                ]
-                if augment_pairs:
-                    stages.append(
-                        (
-                            self._submit_template_batches(),
-                            self._build_template_pairs(TEMPLATE_PAIRS_PER_TASK),
-                        )
-                    )
-                total = sum(len(pending) for pending, _ in stages)
-                done = 0
-                for pending, build in stages:
-                    for task_pairs in _stream_in_order(pending, build):
-                        pairs.extend(task_pairs)
-                        stream.put_many(task_pairs)
-                        done += 1
-                        handle.report_progress(done, total)
+                with obs.span("pipeline.produce", category="pipeline"):
+                    self._produce_pairs(pairs, stream, handle, sample_model, tokenizer, augment_pairs)
                 stream.close()
             except BaseException as exc:  # propagate, never hang the consumers
                 stream.abort(exc)
@@ -519,7 +527,8 @@ class DPOAFPipeline:
 
         def encode() -> None:
             try:
-                writer.consume(stream)  # fails the handle itself on error
+                with obs.span("pipeline.encode", category="pipeline"):
+                    writer.consume(stream)  # fails the handle itself on error
             except BaseException as exc:
                 stream.abort(exc)  # unblock a producer stuck on a full stream
 
@@ -549,6 +558,43 @@ class DPOAFPipeline:
         )
         return pairs, dpo_result, telemetry
 
+    def _produce_pairs(self, pairs, stream, handle, sample_model, tokenizer, augment_pairs) -> None:
+        """The producer-thread body of :meth:`_run_streaming` (one span)."""
+        rng = seeded_rng(self.config.seed)
+        stages = [
+            (
+                self._submit_sampled_batches(
+                    sample_model, tokenizer, sampling=self.config.sampling, rng=rng
+                ),
+                self._build_task_pairs,
+            )
+        ]
+        if augment_pairs:
+            stages.append(
+                (
+                    self._submit_template_batches(),
+                    self._build_template_pairs(TEMPLATE_PAIRS_PER_TASK),
+                )
+            )
+        total = sum(len(pending) for pending, _ in stages)
+        done = 0
+        for pending, build in stages:
+            for task_pairs in _stream_in_order(pending, build):
+                pairs.extend(task_pairs)
+                stream.put_many(task_pairs)
+                done += 1
+                handle.report_progress(done, total)
+
+    def _export_trace(self) -> None:
+        """Export the run's spans (parent + worker shards) to ``trace_path``."""
+        if self._tracer is None:
+            return
+        from repro.obs.export import write_chrome_trace
+
+        write_chrome_trace(
+            self.config.trace_path, self._tracer, metrics=self.metrics_registry.snapshot()
+        )
+
     # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
@@ -566,6 +612,13 @@ class DPOAFPipeline:
         finally:
             # Even a failed flush must not leak the dispatch thread.
             self.dispatcher.close()
+            if self._tracer is not None:
+                # Only uninstall the tracer this pipeline installed: a later
+                # pipeline (or test) may have replaced it already.
+                if obs.current_tracer() is self._tracer:
+                    obs.uninstall_tracer()
+                self._tracer.close()
+                self._tracer = None
 
     def __enter__(self) -> "DPOAFPipeline":
         return self

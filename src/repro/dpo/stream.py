@@ -58,6 +58,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.obs import tracer as obs
 from repro.dpo.dataset import DPODataset, EncodedPair, encode_preference_pair
 from repro.errors import TrainingError
 from repro.lm.tokenizer import Tokenizer
@@ -375,7 +376,8 @@ class DPODatasetWriter:
         """
         try:
             for pair in stream:
-                self.append(pair)
+                with obs.span("stream.encode", category="train", task=pair.task):
+                    self.append(pair)
                 if progress_of is not None:
                     done, total = progress_of(pair)
                     self.handle.report_progress(done, total)

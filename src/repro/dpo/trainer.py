@@ -19,6 +19,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro.obs import tracer as obs
 from repro.dpo.dataset import DPODataset
 from repro.dpo.loss import dpo_step
 from repro.dpo.metrics import TrainingHistory
@@ -172,9 +173,10 @@ class DPOTrainer:
     # ------------------------------------------------------------------ #
     def _apply_batch(self, batch: dict, epoch: int, history: TrainingHistory, state: "_TrainState") -> None:
         """One optimiser step on one mini-batch, with history/telemetry."""
-        self.optimizer.zero_grad()
-        metrics = dpo_step(self.policy, self.reference, batch, beta=self.config.beta)
-        grad_norm = self.optimizer.step()
+        with obs.span("dpo.step", category="train", epoch=epoch, step=state.total_steps + 1):
+            self.optimizer.zero_grad()
+            metrics = dpo_step(self.policy, self.reference, batch, beta=self.config.beta)
+            grad_norm = self.optimizer.step()
         history.record(metrics, grad_norm)
         state.total_steps += 1
         if state.progress_every and state.total_steps % state.progress_every == 0:  # pragma: no cover - console feedback

@@ -74,13 +74,14 @@ class FormalVerifier:
     # ------------------------------------------------------------------ #
     def verify_controller(self, model: TransitionSystem, controller: FSAController, *, task: str = "") -> FormalFeedback:
         """Feedback for an already-constructed controller."""
+        names = list(self.specifications)
         report: VerificationReport = self.checker.verify_controller(
             model,
             controller,
             self.specifications.values(),
             restart_on_termination=self.restart_on_termination,
+            spec_names=names,
         )
-        names = list(self.specifications)
         satisfied = tuple(name for name, result in zip(names, report.results) if result.holds)
         violated = tuple(name for name, result in zip(names, report.results) if not result.holds)
         return FormalFeedback(

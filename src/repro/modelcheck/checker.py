@@ -14,6 +14,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
+from repro.obs import tracer as obs
 from repro.automata.buchi import BuchiAutomaton
 from repro.automata.fsa import FSAController
 from repro.automata.kripke import KripkeStructure
@@ -92,11 +93,20 @@ class ModelChecker:
     # ------------------------------------------------------------------ #
     # Public API
     # ------------------------------------------------------------------ #
-    def check(self, kripke: KripkeStructure, specification: Formula | str) -> VerificationResult:
-        """Check one LTL specification against a Kripke structure."""
+    def check(
+        self, kripke: KripkeStructure, specification: Formula | str, *, name: str | None = None
+    ) -> VerificationResult:
+        """Check one LTL specification against a Kripke structure.
+
+        ``name`` optionally labels the specification in trace spans (the
+        rule-book name Φ1…Φ15); it defaults to the formula's text when
+        tracing is enabled and is never computed otherwise.
+        """
         formula = parse_ltl(specification) if isinstance(specification, str) else specification
-        negated_automaton = ltl_to_buchi(Not(formula), name=f"neg({formula})")
-        lasso, stats = self._find_accepting_lasso(kripke, negated_automaton)
+        spec_label = name if name is not None else (str(formula) if obs.tracing_enabled() else "")
+        with obs.span("mc.construct", category="modelcheck", spec=spec_label):
+            negated_automaton = ltl_to_buchi(Not(formula), name=f"neg({formula})")
+        lasso, stats = self._find_accepting_lasso(kripke, negated_automaton, spec_label=spec_label)
         if lasso is None:
             return VerificationResult(formula, True, None, stats)
         prefix_states, cycle_states = lasso
@@ -107,9 +117,18 @@ class ModelChecker:
         )
         return VerificationResult(formula, False, counterexample, stats)
 
-    def check_all(self, kripke: KripkeStructure, specifications: Iterable) -> VerificationReport:
-        """Check a batch of specifications and return a combined report."""
-        results = tuple(self.check(kripke, spec) for spec in specifications)
+    def check_all(
+        self, kripke: KripkeStructure, specifications: Iterable, *, spec_names: Iterable | None = None
+    ) -> VerificationReport:
+        """Check a batch of specifications and return a combined report.
+
+        ``spec_names`` optionally supplies one trace label per specification
+        (same order); unnamed specs are labelled by their formula text when
+        tracing is enabled.
+        """
+        specs = list(specifications)
+        names = list(spec_names) if spec_names is not None else [None] * len(specs)
+        results = tuple(self.check(kripke, spec, name=name) for spec, name in zip(specs, names))
         return VerificationReport(results)
 
     def verify_controller(
@@ -119,25 +138,35 @@ class ModelChecker:
         specifications: Iterable,
         *,
         restart_on_termination: bool = True,
+        spec_names: Iterable | None = None,
     ) -> VerificationReport:
         """``M ⊗ C |= Φ_i`` for every Φ_i: the feedback primitive of DPO-AF.
 
         ``restart_on_termination`` keeps the transition relation total after
         the controller's final step (the paper's SMV default case); see
-        :func:`repro.automata.product.build_product`.
+        :func:`repro.automata.product.build_product`.  ``spec_names``
+        optionally labels each specification's trace spans.
         """
-        product = build_product(model, controller, restart_on_termination=restart_on_termination)
-        return self.check_all(product, specifications)
+        with obs.span(
+            "mc.build_model", category="modelcheck", controller=controller.name
+        ):
+            product = build_product(
+                model, controller, restart_on_termination=restart_on_termination
+            )
+        return self.check_all(product, specifications, spec_names=spec_names)
 
     # ------------------------------------------------------------------ #
     # Emptiness check of KS × NBA
     # ------------------------------------------------------------------ #
-    def _find_accepting_lasso(self, kripke: KripkeStructure, nba: BuchiAutomaton):
+    def _find_accepting_lasso(
+        self, kripke: KripkeStructure, nba: BuchiAutomaton, *, spec_label: str = ""
+    ):
         """Search the synchronous product for a reachable accepting cycle.
 
         Returns ``((prefix, cycle), stats)`` where prefix/cycle are lists of
         product states ``(kripke_state, nba_state)``; ``(None, stats)`` when the
-        product language is empty (the specification holds).
+        product language is empty (the specification holds).  ``spec_label``
+        names the specification in the ``mc.product`` / ``mc.check`` spans.
         """
         kripke.validate()
         nba.validate()
@@ -174,25 +203,26 @@ class ModelChecker:
             return out
 
         # Forward reachability (BFS) from initial product states.
-        parents: dict = {}
-        order: list = []
-        queue = deque()
-        for init in initial_product:
-            if init not in parents:
-                parents[init] = None
-                queue.append(init)
-        while queue:
-            state = queue.popleft()
-            order.append(state)
-            if len(order) > self.max_product_states:
-                raise VerificationError(
-                    f"product exceeded {self.max_product_states} states; "
-                    "increase max_product_states or simplify the specification"
-                )
-            for succ in product_successors(state):
-                if succ not in parents:
-                    parents[succ] = state
-                    queue.append(succ)
+        with obs.span("mc.product", category="modelcheck", spec=spec_label):
+            parents: dict = {}
+            order: list = []
+            queue = deque()
+            for init in initial_product:
+                if init not in parents:
+                    parents[init] = None
+                    queue.append(init)
+            while queue:
+                state = queue.popleft()
+                order.append(state)
+                if len(order) > self.max_product_states:
+                    raise VerificationError(
+                        f"product exceeded {self.max_product_states} states; "
+                        "increase max_product_states or simplify the specification"
+                    )
+                for succ in product_successors(state):
+                    if succ not in parents:
+                        parents[succ] = state
+                        queue.append(succ)
 
         stats = {
             "product_states": len(order),
@@ -200,16 +230,17 @@ class ModelChecker:
             "kripke_states": kripke.num_states,
         }
 
-        accepting = [state for state in order if state[1] in nba.accepting_states]
+        with obs.span("mc.check", category="modelcheck", spec=spec_label):
+            accepting = [state for state in order if state[1] in nba.accepting_states]
 
-        # For each reachable accepting state, look for a cycle back to it.
-        for target in accepting:
-            cycle = self._find_cycle(target, product_successors)
-            if cycle is not None:
-                prefix = self._path_from_parents(parents, target)
-                prefix_pairs = prefix[:-1]  # the target itself starts the cycle
-                return (prefix_pairs, cycle), stats
-        return None, stats
+            # For each reachable accepting state, look for a cycle back to it.
+            for target in accepting:
+                cycle = self._find_cycle(target, product_successors)
+                if cycle is not None:
+                    prefix = self._path_from_parents(parents, target)
+                    prefix_pairs = prefix[:-1]  # the target itself starts the cycle
+                    return (prefix_pairs, cycle), stats
+            return None, stats
 
     @staticmethod
     def _find_cycle(target, product_successors):

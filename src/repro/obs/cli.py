@@ -1,0 +1,56 @@
+"""``repro-trace`` — inspect traces exported by a traced run.
+
+Usage::
+
+    repro-trace report RUN.trace.json [--top N]
+
+``report`` prints the human summary of a Chrome/Perfetto trace written by
+``repro-serve --trace`` or ``PipelineConfig(trace_path=...)``: the stage
+breakdown, the top-N hottest LTL specifications with per-phase
+(construction / product / emptiness check) timings, dispatcher queue-depth
+statistics, and the serving/streaming telemetry embedded in the file.  The
+file itself remains loadable in `Perfetto <https://ui.perfetto.dev>`_ for
+the full timeline view.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-trace`` argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description="Summarise Chrome/Perfetto traces exported by traced repro runs.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+    report = commands.add_parser(
+        "report", help="print the stage breakdown and per-spec hot list of a trace"
+    )
+    report.add_argument("trace", type=Path, help="trace file written by a traced run")
+    report.add_argument(
+        "--top", type=int, default=5, help="how many hottest specs to list (default 5)"
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    """Entry point of the ``repro-trace`` console script."""
+    args = build_parser().parse_args(argv)
+    from repro.obs.export import load_chrome_trace
+    from repro.obs.report import report_from_trace
+
+    try:
+        document = load_chrome_trace(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"repro-trace: {exc}", file=sys.stderr)
+        return 2
+    print(report_from_trace(document, top=args.top))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

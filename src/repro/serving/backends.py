@@ -36,11 +36,14 @@ thread paths, and every worker process owns one built from the payload.
 
 from __future__ import annotations
 
+import os
 import threading
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Mapping, Sequence
 
+from repro.obs import tracer as obs
 from repro.errors import AlignmentError
 from repro.feedback.empirical import EmpiricalEvaluator
 from repro.feedback.formal import FormalVerifier
@@ -171,9 +174,19 @@ class WorkerPayload:
     empirical_traces: int
     empirical_threshold: float
     seed: int
+    #: Directory worker processes write per-PID trace shards into; ``None``
+    #: keeps workers untraced (the default — tracing is opt-in).
+    trace_shard_dir: str | None = None
 
     @classmethod
-    def from_feedback(cls, specifications: Mapping, feedback, *, seed: int = 0) -> "WorkerPayload":
+    def from_feedback(
+        cls,
+        specifications: Mapping,
+        feedback,
+        *,
+        seed: int = 0,
+        trace_shard_dir: str | None = None,
+    ) -> "WorkerPayload":
         return cls(
             specifications=tuple(sorted(specifications.items())),
             wait_action=feedback.wait_action,
@@ -182,6 +195,7 @@ class WorkerPayload:
             empirical_traces=feedback.empirical_traces,
             empirical_threshold=feedback.empirical_threshold,
             seed=seed,
+            trace_shard_dir=trace_shard_dir,
         )
 
     def build_scorer(self) -> ResponseScorer:
@@ -203,6 +217,16 @@ _WORKER_SCORER: ResponseScorer | None = None
 
 def _initialize_worker(payload: WorkerPayload) -> None:
     global _WORKER_SCORER
+    # Forked workers inherit the parent's installed tracer, whose in-memory
+    # spans would be lost on worker exit.  Replace it: either a shard writer
+    # flushing every span to a per-PID JSONL file the parent merges at export,
+    # or (tracing off) the no-op tracer.
+    if payload.trace_shard_dir is not None:
+        shard_dir = Path(payload.trace_shard_dir)
+        shard_dir.mkdir(parents=True, exist_ok=True)
+        obs.install_tracer(obs.Tracer(jsonl_path=shard_dir / f"pid-{os.getpid()}.jsonl"))
+    else:
+        obs.uninstall_tracer()
     _WORKER_SCORER = payload.build_scorer()
 
 

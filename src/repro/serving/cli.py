@@ -133,6 +133,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--pairs-output", type=Path, default=None,
         help="also write DPO-ready encoded preference pairs (JSONL) to this path",
     )
+    parser.add_argument(
+        "--trace", type=Path, default=None,
+        help="export a Chrome/Perfetto trace of the run to this path "
+        "(inspect with repro-trace report or ui.perfetto.dev)",
+    )
     return parser
 
 
@@ -291,6 +296,15 @@ def main(argv=None) -> int:
         FeedbackJob(task=record["task"], scenario=scenario, response=record["response"])
         for record, scenario in jobs
     ]
+    from repro.obs import tracer as obs
+
+    # Tracing must be live before the service is built: the service captures
+    # the tracer's shard directory into its worker payload, which is how
+    # process-backend workers know where to write their span shards.
+    tracer = None
+    if args.trace is not None:
+        tracer = obs.Tracer.for_trace_file(args.trace)
+        obs.install_tracer(tracer)
     # The context managers flush the cache (and compact the shared directory
     # when bounded) on exit, then shut down the dispatch thread / worker pool.
     with Dispatcher(name="repro-serve") as dispatcher:
@@ -328,26 +342,23 @@ def main(argv=None) -> int:
             file=sys.stderr,
         )
 
-    telemetry = service.metrics.snapshot()
-    warm = (
-        f", warm-started {telemetry['warm_start_entries']} entries"
-        if telemetry["warm_start_entries"]
-        else ""
-    )
-    blocked = (
-        f", back-pressure blocked {telemetry['backpressure_waits']}× "
-        f"for {telemetry['backpressure_seconds']:.2f}s"
-        if telemetry["backpressure_waits"]
-        else ""
-    )
-    print(
-        f"scored {telemetry['jobs']} responses ({telemetry['unique_jobs']} unique) "
-        f"in {telemetry['total_seconds']:.2f}s — "
-        f"{telemetry['throughput']:.1f} responses/s, "
-        f"hit rate {telemetry['hit_rate']:.0%}, dedup rate {telemetry['dedup_rate']:.0%}"
-        f"{warm}{blocked}",
-        file=sys.stderr,
-    )
+    # One MetricsRegistry snapshot feeds both the stderr summary and the
+    # exported trace — the same code path the pipeline's telemetry uses.
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.report import format_serving_summary
+
+    registry = MetricsRegistry()
+    registry.register_provider("serving", service.metrics.snapshot)
+    snapshot = registry.snapshot()
+    print(format_serving_summary(snapshot["serving"]), file=sys.stderr)
+    if tracer is not None:
+        from repro.obs.export import write_chrome_trace
+
+        if obs.current_tracer() is tracer:
+            obs.uninstall_tracer()
+        write_chrome_trace(args.trace, tracer, metrics=snapshot)
+        tracer.close()
+        print(f"wrote trace to {args.trace}", file=sys.stderr)
     return 0
 
 

@@ -64,6 +64,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Iterator, Mapping, Sequence
 
+from repro.obs import tracer as obs
 from repro.feedback.formal import FormalVerifier
 from repro.serving.backends import (
     ResponseScorer,
@@ -240,10 +241,12 @@ class Dispatcher:
                 self._queues[key] = deque()
                 self._rotation.append(key)
             self._queues[key].append((future, fn, args))
+            depth = sum(len(queue) for queue in self._queues.values())
             # One _run_next per queued item: the executor's own FIFO only
             # counts how many items remain; *which* item each run executes
             # is decided by the round-robin pop below.
             self._executor.submit(self._run_next)
+        obs.counter("dispatcher.queue_depth", depth)
         return future
 
     def _pop_round_robin(self):
@@ -271,8 +274,10 @@ class Dispatcher:
         future, fn, args = item
         if not future.set_running_or_notify_cancel():
             return
+        obs.counter("dispatcher.queue_depth", self.queued_batches)
         try:
-            result = fn(*args)
+            with obs.span("dispatch.batch", category="serving", dispatcher=self.name):
+                result = fn(*args)
         except BaseException as exc:
             future.set_exception(exc)
         else:
@@ -376,8 +381,18 @@ class FeedbackService:
             and verifier.wait_action == feedback.wait_action
             and verifier.restart_on_termination == feedback.restart_on_termination
         )
+        # Workers inherit the trace destination at construction time: the
+        # tracer installed *now* decides whether (and where) worker processes
+        # shard their spans, which is why the pipeline/CLI install the tracer
+        # before building services.
+        shard_dir = obs.current_tracer().shard_dir
         self._payload = (
-            WorkerPayload.from_feedback(self.specifications, feedback, seed=seed)
+            WorkerPayload.from_feedback(
+                self.specifications,
+                feedback,
+                seed=seed,
+                trace_shard_dir=None if shard_dir is None else str(shard_dir),
+            )
             if model_builder is None and verifier_matches_payload
             else None
         )
@@ -445,7 +460,7 @@ class FeedbackService:
             try:
                 directory = CacheDirectory(self.config.shared_cache_dir)
                 adopted = cache.merge(directory.shard_entries(self._fingerprint))
-                self.metrics.warm_start_entries += adopted
+                self.metrics.record_warm_start(adopted)
             except OSError:
                 pass
         return cache
@@ -514,8 +529,11 @@ class FeedbackService:
         with no cache — the reference path.  Thread-safe: batches from direct
         callers and from the async dispatcher execute one at a time.
         """
-        with self._batch_lock:
-            return self._score_batch_locked(list(jobs))
+        jobs = list(jobs)
+        with self._batch_lock, obs.span(
+            "serving.score_batch", category="serving", jobs=len(jobs)
+        ):
+            return self._score_batch_locked(jobs)
 
     def _score_batch_locked(self, jobs: list) -> list:
         start = time.perf_counter()

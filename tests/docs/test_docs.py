@@ -60,6 +60,26 @@ class TestDocumentationFiles:
         readme = (REPO_ROOT / "README.md").read_text()
         assert "docs/pipeline.md" in readme, "README.md no longer links the pipeline guide"
 
+    def test_observability_guide_exists(self):
+        guide = REPO_ROOT / "docs" / "observability.md"
+        assert guide.is_file(), "docs/observability.md is missing"
+        text = guide.read_text()
+        for needle in (
+            "NullTracer",             # the zero-cost off switch is documented
+            "trace_path",             # PipelineConfig wiring
+            "repro-trace",            # the report CLI
+            "mc.construct",           # the span-name reference survives
+            "per-PID",                # worker shard mechanism
+            "MetricsRegistry",
+            "make trace-demo",
+            "Perfetto",
+        ):
+            assert needle in text, f"docs/observability.md no longer documents {needle!r}"
+        readme = (REPO_ROOT / "README.md").read_text()
+        assert "docs/observability.md" in readme, (
+            "README.md no longer links the observability guide"
+        )
+
 
 def _public_symbols(module):
     for name in module.__all__:
@@ -136,6 +156,32 @@ class TestPublicApiDocstrings:
             ]
             assert not undocumented, f"undocumented public methods: {undocumented}"
 
+    def test_every_public_obs_symbol_has_a_docstring(self):
+        import repro.obs as obs_package
+
+        undocumented = [
+            name
+            for name in obs_package.__all__
+            if not (getattr(obs_package, name).__doc__ or "").strip()
+        ]
+        assert not undocumented, f"repro.obs symbols missing docstrings: {undocumented}"
+
+    def test_obs_public_methods_are_documented(self):
+        from repro.obs import Histogram, MetricsRegistry, NullTracer, Span, Tracer
+
+        for cls in (Tracer, NullTracer, Span, MetricsRegistry, Histogram):
+            undocumented = [
+                f"{cls.__name__}.{name}"
+                for name, member in vars(cls).items()
+                if not name.startswith("_")
+                and (inspect.isfunction(member) or isinstance(member, property))
+                and not (
+                    (member.fget.__doc__ if isinstance(member, property) else member.__doc__)
+                    or ""
+                ).strip()
+            ]
+            assert not undocumented, f"undocumented public methods: {undocumented}"
+
     def test_every_public_ranker_symbol_has_a_docstring(self):
         import repro.feedback.ranker as ranker
 
@@ -162,6 +208,12 @@ class TestPublicApiDocstrings:
         import repro.serving.scheduler
         import repro.feedback.ranker
         import repro.dpo.stream
+        import repro.obs
+        import repro.obs.cli
+        import repro.obs.export
+        import repro.obs.metrics
+        import repro.obs.report
+        import repro.obs.tracer
 
         for module in (
             repro.serving,
@@ -174,5 +226,11 @@ class TestPublicApiDocstrings:
             repro.serving.scheduler,
             repro.feedback.ranker,
             repro.dpo.stream,
+            repro.obs,
+            repro.obs.cli,
+            repro.obs.export,
+            repro.obs.metrics,
+            repro.obs.report,
+            repro.obs.tracer,
         ):
             assert (module.__doc__ or "").strip(), f"{module.__name__} has no module docstring"

@@ -1,0 +1,19 @@
+"""Fixtures for the observability tests.
+
+Tracing state is process-global (the installed tracer), so every test runs
+against a clean NullTracer and must leave one behind — a test that installed
+a tracer and failed before uninstalling it must not leak spans into the next.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import tracer as obs
+
+
+@pytest.fixture(autouse=True)
+def clean_tracer():
+    obs.uninstall_tracer()
+    yield
+    obs.uninstall_tracer()

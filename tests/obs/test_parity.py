@@ -1,0 +1,121 @@
+"""Tracing must never change what the system computes.
+
+The contract the whole observability layer rests on: a traced run produces
+bitwise-identical scores and pipeline results to an untraced run, on every
+backend, with worker-process spans merged back losslessly.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core import DPOAFPipeline
+from repro.core.config import FeedbackConfig, quick_pipeline_config
+from repro.driving import core_specifications, response_templates, training_tasks
+from repro.obs import tracer as obs
+from repro.obs.export import load_chrome_trace
+from repro.obs.tracer import Tracer
+from repro.serving import FeedbackJob, FeedbackService, ServingConfig
+
+BACKENDS = ("serial", "thread", "process")
+
+
+def _jobs() -> list:
+    jobs = []
+    for task in training_tasks()[:3]:
+        for kind in ("compliant", "flawed"):
+            for response in response_templates(task.name, kind):
+                jobs.append(FeedbackJob(task=task.name, scenario=task.scenario, response=response))
+    return jobs
+
+
+def _score(backend: str) -> list:
+    with FeedbackService(
+        core_specifications(),
+        feedback=FeedbackConfig(),
+        config=ServingConfig(backend=backend, max_workers=2),
+    ) as service:
+        return service.score_batch(_jobs())
+
+
+class TestBackendParity:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_traced_scores_match_untraced_scores(self, backend, tmp_path):
+        untraced = _score(backend)
+        tracer = obs.install_tracer(Tracer.for_trace_file(tmp_path / "run.trace.json"))
+        try:
+            traced = _score(backend)
+        finally:
+            obs.uninstall_tracer()
+        assert traced == untraced
+        # The traced run recorded real verification work.
+        specs = {
+            s.attributes.get("spec") for s in tracer.all_spans() if s.name == "mc.check"
+        }
+        assert specs == set(core_specifications())
+
+    def test_process_backend_workers_write_mergeable_shards(self, tmp_path):
+        tracer = obs.install_tracer(Tracer.for_trace_file(tmp_path / "run.trace.json"))
+        try:
+            with FeedbackService(
+                core_specifications(),
+                feedback=FeedbackConfig(),
+                config=ServingConfig(backend="process", max_workers=2),
+            ) as service:
+                service.score_batch(_jobs())
+                pool_started = service._pool is not None and service._pool.starts > 0
+        finally:
+            obs.uninstall_tracer()
+        if not pool_started:
+            pytest.skip("process pool unavailable; worker shards never written")
+        shard_spans, _ = tracer.read_shards()
+        assert shard_spans, "workers produced no shard spans"
+        assert all(s.pid != tracer._pid for s in shard_spans)
+        assert {s.name for s in shard_spans} >= {"mc.construct", "mc.product", "mc.check"}
+        # Merged spans carry spec attribution just like in-process ones.
+        assert {s.attributes["spec"] for s in shard_spans if s.name == "mc.check"} == set(
+            core_specifications()
+        )
+
+
+@pytest.fixture(scope="module")
+def pipeline_parity(tmp_path_factory):
+    """One quick pipeline run untraced, one traced, identical seeds."""
+    runs = {}
+    for traced in (False, True):
+        trace_path = (
+            str(tmp_path_factory.mktemp("trace") / "run.trace.json") if traced else None
+        )
+        config = dataclasses.replace(quick_pipeline_config(seed=0), trace_path=trace_path)
+        with DPOAFPipeline(
+            config, specifications=core_specifications(), tasks=training_tasks()[:2], validation=()
+        ) as pipeline:
+            runs[traced] = (pipeline.run(augment_pairs=True), trace_path)
+    return runs
+
+
+class TestPipelineParity:
+    def test_traced_pipeline_result_is_bitwise_identical(self, pipeline_parity):
+        untraced, _ = pipeline_parity[False]
+        traced, _ = pipeline_parity[True]
+        as_tuples = lambda pairs: [
+            (p.task, p.prompt, p.chosen, p.rejected, p.chosen_score, p.rejected_score) for p in pairs
+        ]
+        assert as_tuples(traced.preference_pairs) == as_tuples(untraced.preference_pairs)
+        counts = lambda ev: [(t.task, t.split, list(t.satisfied_counts)) for t in ev.per_task]
+        assert counts(traced.before_evaluation) == counts(untraced.before_evaluation)
+        assert counts(traced.after_evaluation) == counts(untraced.after_evaluation)
+        assert traced.dpo_result.history.losses == untraced.dpo_result.history.losses
+
+    def test_traced_run_exported_a_valid_trace(self, pipeline_parity):
+        _, trace_path = pipeline_parity[True]
+        document = load_chrome_trace(trace_path)
+        timestamps = [e["ts"] for e in document["traceEvents"]]
+        assert timestamps == sorted(timestamps)
+        names = {e["name"] for e in document["traceEvents"]}
+        assert {"pipeline.pretrain", "pipeline.train", "serving.score_batch", "mc.check"} <= names
+        metrics = document["otherData"]["metrics"]
+        assert metrics["serving"]["jobs"] > 0
+
+    def test_untraced_run_leaves_the_null_tracer_installed(self, pipeline_parity):
+        assert not obs.tracing_enabled()

@@ -246,6 +246,41 @@ class TestFeedbackService:
         metrics.reset()
         assert metrics.uncached_jobs == 0 and metrics.snapshot()["uncached_jobs"] == 0
 
+    def test_metrics_reset_clears_stage_seconds_in_place(self):
+        """reset() must clear the live dict, not rebind it — a provider (or
+        test) holding a reference keeps observing the same mapping."""
+        from repro.serving import ServingMetrics
+
+        metrics = ServingMetrics()
+        metrics.record_stage("encode", 1.5)
+        held = metrics.stage_seconds
+        metrics.reset()
+        assert held == {} and metrics.stage_seconds is held
+        metrics.record_stage("encode", 0.5)
+        assert held == {"encode": 0.5}
+
+    def test_metrics_mutation_is_thread_safe(self):
+        import threading
+
+        from repro.serving import ServingMetrics
+
+        metrics = ServingMetrics()
+
+        def record():
+            for _ in range(500):
+                metrics.record_batch(jobs=1, unique=1, hits=0, misses=1, seconds=0.0)
+                metrics.record_backpressure(0.001)
+                metrics.record_stage("encode", 0.001)
+
+        threads = [threading.Thread(target=record) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert metrics.jobs == 2000
+        assert metrics.backpressure_waits == 2000
+        assert metrics.stage_seconds["encode"] == pytest.approx(2.0)
+
     def test_evaluator_and_model_built_once_per_scenario(self, right_turn_task):
         service = FeedbackService(
             core_specifications(), feedback=FeedbackConfig(use_empirical=True, empirical_traces=3)
