@@ -1,6 +1,9 @@
 # Convenience targets matching the ROADMAP's canonical commands.
 #
-#   make tier1            fast unit/integration suite (what CI gates on)
+#   make tier1            repro-lint + fast unit/integration suite (what CI
+#                         gates on)
+#   make lint             AST lint + lock-order analysis of src/repro
+#                         (repro-lint; also runs as a tier-1 test)
 #   make bench            paper-figure + serving benchmarks (CPU-minutes);
 #                         multicore-marked speedup assertions are excluded —
 #                         they also auto-skip on single-core hosts via
@@ -15,9 +18,12 @@ PYTHON ?= python
 PYTEST := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) $(PYTHON) -m pytest
 PYRUN := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) $(PYTHON)
 
-.PHONY: tier1 bench bench-multicore trace-demo
+.PHONY: tier1 lint bench bench-multicore trace-demo
 
-tier1:
+lint:
+	$(PYRUN) -m repro.analysis.cli src/repro
+
+tier1: lint
 	$(PYTEST) -x -q
 
 bench:

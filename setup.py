@@ -38,6 +38,7 @@ setup(
         "console_scripts": [
             "repro-serve=repro.serving.cli:main",
             "repro-trace=repro.obs.cli:main",
+            "repro-lint=repro.analysis.cli:main",
         ],
     },
     classifiers=[

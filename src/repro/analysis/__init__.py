@@ -1,0 +1,75 @@
+"""Static analysis of the repro codebase's own concurrency/determinism invariants.
+
+The paper's core move is verifying LLM-produced controllers against formal
+specifications.  This package turns that mindset inward: the informal
+invariants the serving/streaming substrate depends on — atomic persistent
+writes, lock-guarded shared state, no falsy-``or`` defaults, deterministic
+iteration order, never silently swallowing worker errors — are encoded as
+machine-checked AST rules that run in tier-1, so the classes of bug PRs 3 and
+6 fixed by hand become structurally impossible to merge.
+
+Three layers:
+
+``repro.analysis.engine``
+    The rule engine: walks Python sources, runs every registered rule, and
+    collects :class:`Finding` records.  Inline suppressions
+    (``# repro: allow[rule-id] — reason``) are *checked*: an unknown rule id
+    or a missing reason is itself a finding.
+
+``repro.analysis.rules``
+    The rule catalogue — six rules distilled from real bugs fixed in this
+    repository (see ``docs/analysis.md`` for each rule's originating bug).
+
+``repro.analysis.locks``
+    A lock-order analyzer: statically extracts nested ``with <lock>:``
+    acquisitions (including acquisitions reached through same-class method
+    calls), builds the acquisition-order graph, and reports any cycle as a
+    potential deadlock.
+
+The ``repro-lint`` console script (``repro.analysis.cli``) runs everything
+over ``src/repro`` and exits non-zero on findings; ``make lint`` wires it
+into the default ``make tier1`` flow and ``tests/analysis/test_clean.py``
+asserts the tree stays clean.
+"""
+
+from repro.analysis.engine import (
+    AnalysisReport,
+    FileContext,
+    Finding,
+    Suppression,
+    analyze_source,
+    parse_suppressions,
+    run_analysis,
+)
+from repro.analysis.locks import LockOrderAnalyzer, LockAcquisition, LockEdge
+from repro.analysis.rules import (
+    DEFAULT_RULES,
+    AtomicWriteRule,
+    FalsyDefaultRule,
+    NondeterministicIterationRule,
+    RebindSharedContainerRule,
+    SwallowedExceptionRule,
+    UnguardedSharedMutationRule,
+    default_rules,
+)
+
+__all__ = [
+    "AnalysisReport",
+    "AtomicWriteRule",
+    "DEFAULT_RULES",
+    "FalsyDefaultRule",
+    "FileContext",
+    "Finding",
+    "LockAcquisition",
+    "LockEdge",
+    "LockOrderAnalyzer",
+    "NondeterministicIterationRule",
+    "RebindSharedContainerRule",
+    "Suppression",
+    "SwallowedExceptionRule",
+    "UnguardedSharedMutationRule",
+    "analyze_source",
+    "default_rules",
+    "parse_suppressions",
+    "run_analysis",
+]

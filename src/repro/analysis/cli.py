@@ -1,0 +1,126 @@
+"""``repro-lint``: run the repro static-analysis rules from the command line.
+
+Usage::
+
+    repro-lint [paths ...] [--format text|json] [--no-lock-order] [--rules a,b]
+
+With no paths the linter analyzes the installed ``repro`` package source (so
+``repro-lint`` from the repo root and ``make lint`` both check ``src/repro``).
+Exit status is 0 when the tree is clean and 1 when any finding survives —
+suitable for CI gating.  ``--format json`` emits a deterministic document
+(findings sorted, lock-order edges and cycles included) so future tooling can
+diff findings across commits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.engine import run_analysis
+from repro.analysis.rules import DEFAULT_RULES, default_rules
+
+
+def default_target() -> Path:
+    """The source tree ``repro-lint`` checks when no paths are given."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-lint`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST lint + lock-order analysis of the repro codebase's "
+        "concurrency and determinism invariants.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to analyze (default: the repro package source)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format: human-readable text (default) or a diffable JSON document",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="ID[,ID...]",
+        help="comma-separated rule ids to run (default: all rules)",
+    )
+    parser.add_argument(
+        "--no-lock-order",
+        action="store_true",
+        help="skip the cross-file lock-order analysis",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the available rule ids and exit",
+    )
+    return parser
+
+
+def select_rules(spec: str | None) -> list:
+    """Rule instances for a ``--rules`` spec (all rules when ``spec`` is None)."""
+    rules = default_rules()
+    if spec is None:
+        return rules
+    wanted = [part.strip() for part in spec.split(",") if part.strip()]
+    known = {rule.rule_id: rule for rule in rules}
+    unknown = [rule_id for rule_id in wanted if rule_id not in known]
+    if unknown:
+        raise SystemExit(
+            f"repro-lint: unknown rule id(s) {', '.join(unknown)} "
+            f"(known: {', '.join(sorted(known))})"
+        )
+    return [known[rule_id] for rule_id in wanted]
+
+
+def main(argv=None) -> int:
+    """Entry point; returns the process exit code (0 clean, 1 findings)."""
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in DEFAULT_RULES:
+            print(f"{rule.rule_id:30s} {rule.description}")
+        return 0
+    paths = [Path(p) for p in args.paths] if args.paths else [default_target()]
+    for path in paths:
+        if not path.exists():
+            print(f"repro-lint: no such path: {path}", file=sys.stderr)
+            return 2
+    report = run_analysis(
+        paths,
+        rules=select_rules(args.rules),
+        lock_order=not args.no_lock_order,
+        relative_to=Path.cwd(),
+    )
+
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        for finding in report.findings:
+            print(finding.format())
+        cycles = report.lock_cycles
+        summary = (
+            f"repro-lint: {report.files_checked} files, "
+            f"{len(report.findings)} finding(s)"
+        )
+        if not args.no_lock_order:
+            summary += (
+                f"; lock-order graph: {len(report.lock_acquisitions)} acquisitions, "
+                f"{len(report.lock_edges)} edges, "
+                + ("cycle-free" if not cycles else f"{len(cycles)} CYCLE(S)")
+            )
+        print(summary)
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

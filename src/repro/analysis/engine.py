@@ -1,0 +1,267 @@
+"""The rule engine: walk files, run rules, collect findings, honor suppressions.
+
+A *rule* is any object with a ``rule_id`` string, a ``description`` string and
+a ``check(context)`` method yielding :class:`Finding` records for one parsed
+file (a :class:`FileContext`).  The engine owns everything rule-agnostic:
+
+* discovering and parsing source files (:func:`run_analysis`);
+* inline suppressions — ``# repro: allow[rule-id] — reason`` silences that
+  rule on the comment's line (or, for a full-line comment, on the next line).
+  Suppressions are **checked**: naming a rule id the engine doesn't know, or
+  omitting the reason, is itself a finding (rule id ``suppression``), so a
+  stale or sloppy suppression cannot silently rot;
+* the :class:`AnalysisReport` aggregate the CLI and the tier-1 clean-tree
+  test consume, including the lock-order section from
+  :mod:`repro.analysis.locks`.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+#: Engine-level rule id stamped on defective suppression comments.
+SUPPRESSION_RULE_ID = "suppression"
+
+#: Matches ``repro: allow[rule-id] — reason`` after a ``#`` (the reason
+#: separator may be an em dash, a hyphen, or a colon; the reason itself is
+#: mandatory and checked).
+_SUPPRESSION_RE = re.compile(
+    r"#\s*repro:\s*allow\[(?P<rule>[^\]]*)\]\s*(?:[—:-]+\s*(?P<reason>\S.*))?"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    file: str
+    line: int
+    rule_id: str
+    message: str
+
+    def format(self) -> str:
+        """``file:line: [rule-id] message`` — the text-format report line."""
+        return f"{self.file}:{self.line}: [{self.rule_id}] {self.message}"
+
+    def to_dict(self) -> dict:
+        """JSON-friendly record (the ``--format json`` finding shape)."""
+        return {
+            "file": self.file,
+            "line": self.line,
+            "rule_id": self.rule_id,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``# repro: allow[rule-id] — reason`` comment."""
+
+    line: int            # physical line of the comment (1-based)
+    applies_to: int      # line whose findings it silences
+    rule_id: str
+    reason: str | None
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs about one parsed source file."""
+
+    path: str                      # path as reported in findings
+    source: str
+    tree: ast.AST
+    lines: Sequence[str] = field(default_factory=list)
+
+    @property
+    def posix_path(self) -> str:
+        """The path with forward slashes, for suffix-based whitelists."""
+        return Path(self.path).as_posix()
+
+
+def parse_suppressions(source: str) -> list:
+    """Every suppression comment in ``source``, with the line it applies to.
+
+    Only real ``#`` comments count (the source is tokenized, so a docstring
+    *describing* the suppression syntax is not a suppression).  A suppression
+    trailing code applies to its own line; a suppression that is the whole
+    line (a standalone comment) applies to the next line, so it can sit above
+    the statement it excuses.
+    """
+    import io
+    import tokenize
+
+    suppressions = []
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESSION_RE.search(token.string)
+            if match is None:
+                continue
+            number, column = token.start
+            standalone = token.line[:column].strip() == ""
+            suppressions.append(
+                Suppression(
+                    line=number,
+                    applies_to=number + 1 if standalone else number,
+                    rule_id=match.group("rule").strip(),
+                    reason=(match.group("reason") or "").strip() or None,
+                )
+            )
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # Keep what tokenised before the defect; the engine reports the
+        # syntax error itself via analyze_source.
+        pass
+    return suppressions
+
+
+def _check_suppressions(suppressions: Iterable, known_rule_ids, path: str) -> Iterator[Finding]:
+    """Findings for defective suppression comments (unknown rule, no reason)."""
+    for suppression in suppressions:
+        if suppression.rule_id not in known_rule_ids:
+            yield Finding(
+                file=path,
+                line=suppression.line,
+                rule_id=SUPPRESSION_RULE_ID,
+                message=(
+                    f"suppression names unknown rule id {suppression.rule_id!r} "
+                    f"(known: {', '.join(sorted(known_rule_ids))})"
+                ),
+            )
+        elif suppression.reason is None:
+            yield Finding(
+                file=path,
+                line=suppression.line,
+                rule_id=SUPPRESSION_RULE_ID,
+                message=(
+                    f"suppression of {suppression.rule_id!r} has no reason — "
+                    "write `# repro: allow[rule-id] — why this is safe`"
+                ),
+            )
+
+
+def analyze_source(source: str, path: str, rules: Sequence | None = None) -> list:
+    """Run ``rules`` over one source string; returns the surviving findings.
+
+    Findings silenced by a valid suppression are dropped; findings *about*
+    defective suppressions are added.  A file that does not parse yields a
+    single ``syntax-error`` finding instead of raising — the linter must be
+    able to report on a tree it cannot fully check.
+    """
+    if rules is None:
+        from repro.analysis.rules import default_rules
+
+        rules = default_rules()
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                file=path,
+                line=exc.lineno or 1,
+                rule_id="syntax-error",
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    context = FileContext(path=path, source=source, tree=tree, lines=source.splitlines())
+    suppressions = parse_suppressions(source)
+    known_rule_ids = {rule.rule_id for rule in rules} | {SUPPRESSION_RULE_ID}
+    suppressed = {
+        (suppression.applies_to, suppression.rule_id)
+        for suppression in suppressions
+        if suppression.rule_id in known_rule_ids and suppression.reason is not None
+    }
+
+    findings = list(_check_suppressions(suppressions, known_rule_ids, path))
+    for rule in rules:
+        for finding in rule.check(context):
+            if (finding.line, finding.rule_id) not in suppressed:
+                findings.append(finding)
+    return sorted(findings)
+
+
+@dataclass
+class AnalysisReport:
+    """The aggregate result of one :func:`run_analysis` pass."""
+
+    findings: list = field(default_factory=list)
+    files_checked: int = 0
+    lock_acquisitions: list = field(default_factory=list)
+    lock_edges: list = field(default_factory=list)
+    lock_cycles: list = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when no rule fired and the lock graph is acyclic."""
+        return not self.findings
+
+    def to_dict(self) -> dict:
+        """JSON-friendly report (the ``repro-lint --format json`` document),
+        deterministic across runs so future tooling can diff findings."""
+        return {
+            "files_checked": self.files_checked,
+            "findings": [finding.to_dict() for finding in sorted(self.findings)],
+            "lock_order": {
+                "acquisitions": [a.to_dict() for a in self.lock_acquisitions],
+                "edges": [e.to_dict() for e in self.lock_edges],
+                "cycles": [list(cycle) for cycle in self.lock_cycles],
+            },
+        }
+
+
+def iter_python_files(paths: Iterable) -> Iterator[Path]:
+    """Yield every ``.py`` file under ``paths`` (files or directories), sorted."""
+    seen = set()
+    for path in paths:
+        path = Path(path)
+        candidates = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        for candidate in candidates:
+            if candidate not in seen:
+                seen.add(candidate)
+                yield candidate
+
+
+def run_analysis(
+    paths: Iterable,
+    rules: Sequence | None = None,
+    *,
+    lock_order: bool = True,
+    relative_to: str | Path | None = None,
+) -> AnalysisReport:
+    """Analyze every Python file under ``paths`` and return one report.
+
+    ``relative_to`` shortens finding paths (e.g. to repo-relative form) when
+    given.  ``lock_order=False`` skips the cross-file lock-order pass (the
+    per-file rules still run).
+    """
+    if rules is None:
+        from repro.analysis.rules import default_rules
+
+        rules = default_rules()
+    from repro.analysis.locks import LockOrderAnalyzer
+
+    report = AnalysisReport()
+    analyzer = LockOrderAnalyzer()
+    for file_path in iter_python_files(paths):
+        display = file_path
+        if relative_to is not None:
+            try:
+                display = file_path.relative_to(relative_to)
+            except ValueError:
+                pass
+        source = file_path.read_text()
+        report.files_checked += 1
+        report.findings.extend(analyze_source(source, str(display), rules))
+        if lock_order:
+            analyzer.add_file(str(display), source)
+    if lock_order:
+        report.lock_acquisitions = analyzer.acquisitions
+        report.lock_edges = analyzer.edges
+        report.lock_cycles = analyzer.cycles()
+        report.findings.extend(analyzer.findings())
+    report.findings.sort()
+    return report

@@ -10,6 +10,7 @@ import numpy as np
 from repro.errors import TrainingError
 from repro.lm.tokenizer import Tokenizer
 from repro.lm.transformer import ModelConfig, TransformerLM
+from repro.utils.atomic import write_text_atomic
 
 
 def save_model(model: TransformerLM, tokenizer: Tokenizer, directory: str | Path) -> Path:
@@ -26,8 +27,10 @@ def save_model(model: TransformerLM, tokenizer: Tokenizer, directory: str | Path
         "num_layers": model.config.num_layers,
         "hidden_dim": model.config.hidden_dim,
     }
-    (directory / "config.json").write_text(json.dumps(config, indent=2))
-    (directory / "tokenizer.json").write_text(json.dumps(tokenizer.to_dict(), indent=2))
+    # Atomic: re-saving over an existing checkpoint must never leave a
+    # truncated config/tokenizer next to already-replaced weights.
+    write_text_atomic(directory / "config.json", json.dumps(config, indent=2))
+    write_text_atomic(directory / "tokenizer.json", json.dumps(tokenizer.to_dict(), indent=2))
     return directory
 
 

@@ -51,7 +51,6 @@ a pure function of the pair, so:
 from __future__ import annotations
 
 import json
-import os
 import threading
 import time
 from collections import deque
@@ -62,6 +61,7 @@ from repro.obs import tracer as obs
 from repro.dpo.dataset import DPODataset, EncodedPair, encode_preference_pair
 from repro.errors import TrainingError
 from repro.lm.tokenizer import Tokenizer
+from repro.utils.atomic import AtomicTextWriter
 
 
 class StreamClosed(RuntimeError):
@@ -340,16 +340,11 @@ class DPODatasetWriter:
         self.telemetry = StreamTelemetry()
         self._started = time.perf_counter()
         self._spill_file = None
-        self._spill_tmp: Path | None = None
         if self.spill_path is not None:
-            self.spill_path.parent.mkdir(parents=True, exist_ok=True)
             # Incremental writes land in a sibling tmp file that is moved
             # into place atomically at seal time: readers never observe a
             # truncated shard, yet each pair hits the disk as it is encoded.
-            self._spill_tmp = self.spill_path.with_name(
-                f"{self.spill_path.name}.tmp.{os.getpid()}"
-            )
-            self._spill_file = self._spill_tmp.open("w")
+            self._spill_file = AtomicTextWriter(self.spill_path)
 
     # ------------------------------------------------------------------ #
     def append(self, pair) -> EncodedPair:
@@ -416,6 +411,7 @@ class DPODatasetWriter:
         """
         try:
             self._finish_spill(commit=False)
+        # repro: allow[swallowed-exception] — failing the handle must win over spill-cleanup errors
         except BaseException:
             pass
         self.handle.fail(error)
@@ -424,13 +420,10 @@ class DPODatasetWriter:
         if self._spill_file is None:
             return
         spill_file, self._spill_file = self._spill_file, None
-        spill_file.close()
-        try:
-            if commit:
-                os.replace(self._spill_tmp, self.spill_path)
-        finally:
-            if self._spill_tmp is not None:
-                self._spill_tmp.unlink(missing_ok=True)
+        if commit:
+            spill_file.commit()
+        else:
+            spill_file.discard()
 
 
 def encoded_pair_record(encoded: EncodedPair) -> dict:

@@ -96,7 +96,7 @@ def write_chrome_trace(path, tracer, *, metrics: dict | None = None) -> Path:
         "displayTimeUnit": "ms",
         "otherData": {"schema": TRACE_SCHEMA, "metrics": metrics or {}},
     }
-    from repro.utils.serialization import write_text_atomic
+    from repro.utils.atomic import write_text_atomic
 
     path = Path(path)
     write_text_atomic(path, json.dumps(document))

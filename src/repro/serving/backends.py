@@ -314,6 +314,10 @@ class WorkerPool:
         if executor is not None:
             try:
                 executor.shutdown(wait=False)
+            # Best-effort teardown of an already-broken pool: the caller is
+            # about to rebuild or fall back, and a shutdown error here would
+            # mask the original worker failure.
+            # repro: allow[swallowed-exception] — best-effort teardown of a broken pool
             except Exception:
                 pass
 

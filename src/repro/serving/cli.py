@@ -244,7 +244,7 @@ def write_records(records, output: Path | None) -> None:
     if output is None:
         sys.stdout.write(lines)
         return
-    from repro.utils.serialization import write_text_atomic
+    from repro.utils.atomic import write_text_atomic
 
     write_text_atomic(output, lines)
 

@@ -418,6 +418,10 @@ class FeedbackService:
             )
         self.cache = self._initial_cache()
         self._digests: dict = {}
+        # Guards the digest memo: scenario_digest is reachable both from the
+        # public API (off-lock) and from inside the batch path (under
+        # _batch_lock), so it needs its own consistently-held lock.
+        self._digest_lock = threading.Lock()
         # One persistent process pool per service lifetime (forked lazily on
         # the first large miss batch, reused for every batch after that) and
         # one dispatcher for async submissions — private by default, shared
@@ -488,13 +492,18 @@ class FeedbackService:
         """
         if self.feedback.use_empirical:
             return ""
-        if scenario not in self._digests:
-            self._digests[scenario] = model_digest(self.scenario_model(scenario))
-        return self._digests[scenario]
+        with self._digest_lock:
+            if scenario not in self._digests:
+                self._digests[scenario] = model_digest(self.scenario_model(scenario))
+            return self._digests[scenario]
 
     def _prepare_scenarios(self, jobs: Sequence[FeedbackJob]) -> None:
-        """Build each scenario's model/evaluator once, before any thread fan-out."""
-        for scenario in {job.scenario for job in jobs}:
+        """Build each scenario's model/evaluator once, before any thread fan-out.
+
+        Sorted so preparation order (and any RNG it consumes) is deterministic
+        regardless of set iteration order.
+        """
+        for scenario in sorted({job.scenario for job in jobs}):
             self._scorer.prepare(scenario)
 
     # ------------------------------------------------------------------ #

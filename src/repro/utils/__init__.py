@@ -1,5 +1,6 @@
-"""Shared utilities: seeded randomness, validation helpers, serialization."""
+"""Shared utilities: seeded randomness, validation, atomic file writes."""
 
+from repro.utils.atomic import AtomicTextWriter, write_bytes_atomic, write_text_atomic
 from repro.utils.rng import seeded_rng, spawn_rngs
 from repro.utils.validation import check_positive, check_probability, check_in_options
 
@@ -9,4 +10,7 @@ __all__ = [
     "check_positive",
     "check_probability",
     "check_in_options",
+    "AtomicTextWriter",
+    "write_bytes_atomic",
+    "write_text_atomic",
 ]

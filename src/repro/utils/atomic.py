@@ -1,0 +1,142 @@
+"""The one place persistent files are (over)written: tmp file + ``os.replace``.
+
+Every durable artifact this codebase writes — persisted caches, cache-
+directory shards, exported traces, scored-record output, spilled encoded
+pairs, model checkpoints — must appear *atomically*: a crash, a full disk or
+a concurrent reader mid-write must observe either the previous complete file
+or the new complete file, never a truncated hybrid.  The idiom is always the
+same (write a sibling ``<name>.tmp.<pid>``, then ``os.replace`` it into
+place), and it lives here so every writer inherits one audited
+implementation.
+
+This module is the **whitelist** of the ``atomic-write`` lint rule
+(:class:`repro.analysis.rules.AtomicWriteRule`): direct ``open(..., "w")`` /
+``Path.write_text`` calls anywhere else in ``src/repro`` are findings.
+
+Three shapes cover every writer in the tree:
+
+* :func:`write_text_atomic` — whole-file text, one call;
+* :func:`write_bytes_atomic` — whole-file binary, one call;
+* :class:`AtomicTextWriter` — *incremental* writes (e.g. a JSONL record per
+  encoded pair) that only become visible at :meth:`~AtomicTextWriter.commit`.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+
+def _tmp_sibling(path: Path) -> Path:
+    """The in-flight tmp name: ``<name>.tmp.<pid>`` next to the target.
+
+    Per-PID so concurrent writers never clobber each other's tmp file; the
+    ``.tmp.`` infix is what shard listings and compaction sweeps key on to
+    ignore (and eventually clean up) crashed writers' litter.
+    """
+    return path.with_name(f"{path.name}.tmp.{os.getpid()}")
+
+
+def write_text_atomic(path: str | Path, text: str) -> Path:
+    """Write ``text`` to ``path`` via a sibling tmp file + :func:`os.replace`.
+
+    Atomic on POSIX: a crash or full disk mid-write leaves the previous
+    contents of ``path`` untouched; at worst a stray ``.tmp.<pid>`` file
+    remains, which readers never look at.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = _tmp_sibling(path)
+    try:
+        tmp.write_text(text)
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+    return path
+
+
+def write_bytes_atomic(path: str | Path, data: bytes) -> Path:
+    """Binary counterpart of :func:`write_text_atomic`."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = _tmp_sibling(path)
+    try:
+        tmp.write_bytes(data)
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+    return path
+
+
+class AtomicTextWriter:
+    """Incrementally write a text file that appears atomically at commit.
+
+    Writes land in the ``<name>.tmp.<pid>`` sibling as they happen (each
+    record can hit the disk immediately — the streaming spill path flushes a
+    JSONL line per encoded pair), but the target path only comes into
+    existence at :meth:`commit`, via ``os.replace``.  :meth:`discard` drops
+    the partial file instead.  As a context manager, a clean exit commits and
+    an exception discards::
+
+        with AtomicTextWriter(path) as writer:
+            for record in records:
+                writer.write(json.dumps(record) + "\\n")
+        # path now exists, complete — or not at all if the loop raised
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.tmp_path = _tmp_sibling(self.path)
+        self._file = self.tmp_path.open("w")
+        self._finished = False
+
+    def write(self, text: str) -> None:
+        """Append ``text`` to the in-flight tmp file."""
+        self._file.write(text)
+
+    def flush(self) -> None:
+        """Flush buffered writes to the tmp file (it is still invisible)."""
+        self._file.flush()
+
+    def commit(self) -> Path:
+        """Close the tmp file and move it into place; returns the final path.
+
+        Idempotent once finished.  If the replace fails (target directory
+        vanished, permission revoked) the tmp file is still removed, so no
+        litter survives a failed commit — and the target keeps whatever
+        complete contents it had before.
+        """
+        if self._finished:
+            return self.path
+        self._finished = True
+        self._file.close()
+        try:
+            os.replace(self.tmp_path, self.path)
+        finally:
+            self.tmp_path.unlink(missing_ok=True)
+        return self.path
+
+    def discard(self) -> None:
+        """Drop the partial file: close and delete the tmp, write nothing.
+
+        Idempotent; safe after a failed :meth:`commit`.  The tmp file is
+        unlinked even when closing raises (e.g. ``ENOSPC`` flushing buffers).
+        """
+        if self._finished:
+            return
+        self._finished = True
+        try:
+            self._file.close()
+        finally:
+            self.tmp_path.unlink(missing_ok=True)
+
+    def __enter__(self) -> "AtomicTextWriter":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> bool:
+        if exc_type is None:
+            self.commit()
+        else:
+            self.discard()
+        return False

@@ -1,14 +1,29 @@
-"""JSON-friendly serialization helpers for experiment artifacts."""
+"""JSON-friendly serialization helpers for experiment artifacts.
+
+File writes go through :mod:`repro.utils.atomic` — every JSON artifact this
+module produces appears atomically (:func:`dump_json` and
+:func:`dump_json_atomic` are now the same operation; both names stay so
+callers can say which guarantee they rely on).
+"""
 
 from __future__ import annotations
 
 import dataclasses
 import json
-import os
 from pathlib import Path
 from typing import Any
 
 import numpy as np
+
+from repro.utils.atomic import write_text_atomic
+
+__all__ = [
+    "to_jsonable",
+    "dump_json",
+    "dump_json_atomic",
+    "write_text_atomic",
+    "load_json",
+]
 
 
 def to_jsonable(obj: Any) -> Any:
@@ -31,38 +46,18 @@ def to_jsonable(obj: Any) -> Any:
 
 
 def dump_json(obj: Any, path: str | Path, indent: int = 2) -> Path:
-    """Serialize ``obj`` (via :func:`to_jsonable`) to ``path`` and return the path."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(to_jsonable(obj), indent=indent, sort_keys=True))
-    return path
-
-
-def write_text_atomic(path: str | Path, text: str) -> Path:
-    """Write ``text`` to ``path`` via a sibling tmp file + :func:`os.replace`.
-
-    Atomic on POSIX: a crash or full disk mid-write leaves the previous
-    contents of ``path`` untouched; at worst a stray ``.tmp.<pid>`` file
-    remains, which readers never look at.
-    """
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
-    try:
-        tmp.write_text(text)
-        os.replace(tmp, path)
-    finally:
-        tmp.unlink(missing_ok=True)
-    return path
-
-
-def dump_json_atomic(obj: Any, path: str | Path, indent: int = 2) -> Path:
-    """Like :func:`dump_json`, but crash-safe via :func:`write_text_atomic`.
+    """Serialize ``obj`` (via :func:`to_jsonable`) to ``path`` and return the path.
 
     The payload is serialized *before* any file is opened, so a ``TypeError``
-    from an unserializable object cannot truncate an existing file.
+    from an unserializable object cannot truncate an existing file, and the
+    write itself is atomic (:func:`repro.utils.atomic.write_text_atomic`).
     """
     return write_text_atomic(path, json.dumps(to_jsonable(obj), indent=indent, sort_keys=True))
+
+
+#: Kept as a distinct name so call sites can state that they *depend* on the
+#: atomicity (concurrent readers), not merely benefit from it.
+dump_json_atomic = dump_json
 
 
 def load_json(path: str | Path) -> Any:

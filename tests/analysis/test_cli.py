@@ -1,0 +1,90 @@
+"""``repro-lint`` CLI tests: exit codes, formats, rule selection."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.cli import default_target, main, select_rules
+
+
+@pytest.fixture()
+def dirty_tree(tmp_path):
+    (tmp_path / "dirty.py").write_text("for x in {1, 2}:\n    print(x)\n")
+    return tmp_path
+
+
+@pytest.fixture()
+def clean_tree(tmp_path):
+    (tmp_path / "clean.py").write_text("x = 1\n")
+    return tmp_path
+
+
+def test_exit_zero_on_clean_tree(clean_tree, capsys):
+    assert main([str(clean_tree)]) == 0
+    out = capsys.readouterr().out
+    assert "0 finding(s)" in out
+    assert "cycle-free" in out
+
+
+def test_exit_one_with_findings(dirty_tree, capsys):
+    assert main([str(dirty_tree)]) == 1
+    out = capsys.readouterr().out
+    assert "[nondeterministic-iteration]" in out
+    assert "dirty.py:1:" in out
+
+
+def test_exit_two_on_missing_path(tmp_path, capsys):
+    assert main([str(tmp_path / "nope")]) == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_json_format_is_a_deterministic_document(dirty_tree, capsys):
+    assert main([str(dirty_tree), "--format", "json"]) == 1
+    first = capsys.readouterr().out
+    assert main([str(dirty_tree), "--format", "json"]) == 1
+    second = capsys.readouterr().out
+    assert first == second
+    document = json.loads(first)
+    assert document["files_checked"] == 1
+    (finding,) = document["findings"]
+    assert finding["rule_id"] == "nondeterministic-iteration"
+    assert document["lock_order"]["cycles"] == []
+
+
+def test_rules_flag_selects_a_subset(dirty_tree):
+    # The only finding is nondeterministic-iteration; running a different
+    # rule alone must come back clean.
+    assert main([str(dirty_tree), "--rules", "atomic-write"]) == 0
+    assert main([str(dirty_tree), "--rules", "nondeterministic-iteration"]) == 1
+
+
+def test_unknown_rule_id_rejected():
+    with pytest.raises(SystemExit, match="unknown rule id"):
+        select_rules("no-such-rule")
+
+
+def test_no_lock_order_skips_the_graph(clean_tree, capsys):
+    assert main([str(clean_tree), "--no-lock-order"]) == 0
+    assert "lock-order graph" not in capsys.readouterr().out
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in (
+        "atomic-write",
+        "falsy-default",
+        "unguarded-shared-mutation",
+        "rebind-shared-container",
+        "nondeterministic-iteration",
+        "swallowed-exception",
+    ):
+        assert rule_id in out
+
+
+def test_default_target_is_the_installed_package():
+    target = default_target()
+    assert target.name == "repro"
+    assert (target / "analysis").is_dir()

@@ -1,0 +1,185 @@
+"""Engine behaviour: suppression semantics, syntax errors, report plumbing."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import (
+    AnalysisReport,
+    Finding,
+    analyze_source,
+    parse_suppressions,
+    run_analysis,
+)
+from repro.analysis.engine import SUPPRESSION_RULE_ID
+from repro.analysis.rules import NondeterministicIterationRule, SwallowedExceptionRule
+
+
+def _src(code: str) -> str:
+    return textwrap.dedent(code).lstrip("\n")
+
+
+class TestParseSuppressions:
+    def test_trailing_comment_applies_to_its_own_line(self):
+        source = _src(
+            """
+            x = 1  # repro: allow[swallowed-exception] — justified here
+            """
+        )
+        (supp,) = parse_suppressions(source)
+        assert supp.line == 1
+        assert supp.applies_to == 1
+        assert supp.rule_id == "swallowed-exception"
+        assert supp.reason == "justified here"
+
+    def test_standalone_comment_applies_to_next_line(self):
+        source = _src(
+            """
+            # repro: allow[atomic-write] — scratch file, never read back
+            path.write_text(data)
+            """
+        )
+        (supp,) = parse_suppressions(source)
+        assert supp.line == 1
+        assert supp.applies_to == 2
+
+    def test_hyphen_and_colon_reason_separators(self):
+        source = _src(
+            """
+            a = 1  # repro: allow[falsy-default] - caller audited
+            b = 2  # repro: allow[falsy-default]: caller audited
+            """
+        )
+        first, second = parse_suppressions(source)
+        assert first.reason == "caller audited"
+        assert second.reason == "caller audited"
+
+    def test_missing_reason_parses_as_none(self):
+        (supp,) = parse_suppressions("x = 1  # repro: allow[atomic-write]\n")
+        assert supp.reason is None
+
+    def test_docstring_mention_is_not_a_suppression(self):
+        source = _src(
+            '''
+            def f():
+                """Write `# repro: allow[rule-id] — reason` to suppress."""
+                return 1
+            '''
+        )
+        assert parse_suppressions(source) == []
+
+    def test_unparseable_source_returns_partial_list(self):
+        # An unterminated string ends tokenisation early; the comment before
+        # it is still collected.
+        source = "x = 1  # repro: allow[atomic-write] — fine\ny = '''\n"
+        (supp,) = parse_suppressions(source)
+        assert supp.applies_to == 1
+
+
+class TestCheckedSuppressions:
+    def test_valid_suppression_silences_the_finding(self):
+        source = _src(
+            """
+            def f():
+                # repro: allow[nondeterministic-iteration] — output is re-sorted downstream
+                for x in {1, 2}:
+                    print(x)
+            """
+        )
+        findings = analyze_source(source, "x.py", [NondeterministicIterationRule()])
+        assert findings == []
+
+    def test_unknown_rule_id_is_itself_a_finding(self):
+        source = "x = 1  # repro: allow[no-such-rule] — whatever\n"
+        (finding,) = analyze_source(source, "x.py", [NondeterministicIterationRule()])
+        assert finding.rule_id == SUPPRESSION_RULE_ID
+        assert "no-such-rule" in finding.message
+
+    def test_missing_reason_is_itself_a_finding(self):
+        source = _src(
+            """
+            def f():
+                # repro: allow[nondeterministic-iteration]
+                for x in {1, 2}:
+                    print(x)
+            """
+        )
+        findings = analyze_source(source, "x.py", [NondeterministicIterationRule()])
+        # The reason-less suppression does NOT silence the original finding,
+        # and adds a defect finding of its own.
+        assert {f.rule_id for f in findings} == {
+            SUPPRESSION_RULE_ID,
+            "nondeterministic-iteration",
+        }
+
+    def test_suppression_only_covers_the_named_rule(self):
+        source = _src(
+            """
+            def f():
+                try:
+                    # repro: allow[nondeterministic-iteration] — wrong rule named
+                    for x in {1, 2}:
+                        print(x)
+                except Exception:
+                    pass
+            """
+        )
+        findings = analyze_source(
+            source, "x.py", [NondeterministicIterationRule(), SwallowedExceptionRule()]
+        )
+        assert [f.rule_id for f in findings] == ["swallowed-exception"]
+
+
+class TestAnalyzeSource:
+    def test_syntax_error_yields_single_finding(self):
+        (finding,) = analyze_source("def broken(:\n", "bad.py")
+        assert finding.rule_id == "syntax-error"
+        assert finding.file == "bad.py"
+
+    def test_findings_are_sorted_by_location(self):
+        source = _src(
+            """
+            def f():
+                for x in {3}:
+                    print(x)
+            def g():
+                for y in {4}:
+                    print(y)
+            """
+        )
+        findings = analyze_source(source, "x.py", [NondeterministicIterationRule()])
+        assert [f.line for f in findings] == sorted(f.line for f in findings)
+        assert len(findings) == 2
+
+    def test_finding_format_and_dict(self):
+        finding = Finding(file="a.py", line=3, rule_id="r", message="m")
+        assert finding.format() == "a.py:3: [r] m"
+        assert finding.to_dict() == {"file": "a.py", "line": 3, "rule_id": "r", "message": "m"}
+
+
+class TestRunAnalysis:
+    def test_walks_directories_and_reports_relative_paths(self, tmp_path):
+        package = tmp_path / "pkg"
+        package.mkdir()
+        (package / "clean.py").write_text("x = 1\n")
+        (package / "dirty.py").write_text("for x in {1, 2}:\n    print(x)\n")
+        report = run_analysis([package], relative_to=tmp_path)
+        assert isinstance(report, AnalysisReport)
+        assert report.files_checked == 2
+        (finding,) = report.findings
+        assert finding.file == "pkg/dirty.py"
+        assert not report.clean
+
+    def test_clean_report_round_trips_to_dict(self, tmp_path):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        report = run_analysis([tmp_path])
+        assert report.clean
+        document = report.to_dict()
+        assert document["findings"] == []
+        assert document["lock_order"]["cycles"] == []
+
+    def test_lock_order_can_be_disabled(self, tmp_path):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        report = run_analysis([tmp_path], lock_order=False)
+        assert report.lock_acquisitions == []
+        assert report.lock_edges == []

@@ -1,0 +1,244 @@
+"""Lock-order analyzer tests: extraction, edges, and cycle detection.
+
+The load-bearing case is the seeded inversion — one class takes A then B,
+another path takes B then A — which must surface as exactly one reported
+cycle.  The rest pins the graph construction: call-through edges, factory
+context managers, and the re-entrancy exemption.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import LockOrderAnalyzer
+from repro.analysis.locks import LOCK_CYCLE_RULE_ID
+
+
+def analyzer_for(code: str, path: str = "mod.py") -> LockOrderAnalyzer:
+    analyzer = LockOrderAnalyzer()
+    analyzer.add_file(path, textwrap.dedent(code).lstrip("\n"))
+    return analyzer
+
+
+INVERSION = """
+import threading
+
+class Store:
+    def __init__(self):
+        self.index_lock = threading.Lock()
+        self.data_lock = threading.Lock()
+
+    def read(self):
+        with self.index_lock:
+            with self.data_lock:
+                return self._data
+
+    def write(self, value):
+        with self.data_lock:
+            with self.index_lock:     # inverted order: potential deadlock
+                self._data = value
+"""
+
+
+class TestCycleDetection:
+    def test_seeded_inversion_is_reported_as_one_cycle(self):
+        analyzer = analyzer_for(INVERSION)
+        (cycle,) = analyzer.cycles()
+        assert set(cycle) == {"Store.index_lock", "Store.data_lock"}
+        # Normalised to start at the lexicographically smallest lock.
+        assert cycle[0] == min(cycle)
+
+    def test_cycle_produces_a_finding_with_the_path(self):
+        analyzer = analyzer_for(INVERSION)
+        (finding,) = analyzer.findings()
+        assert finding.rule_id == LOCK_CYCLE_RULE_ID
+        assert "Store.index_lock" in finding.message
+        assert "Store.data_lock" in finding.message
+        assert finding.file == "mod.py"
+
+    def test_consistent_order_is_cycle_free(self):
+        consistent = """
+        import threading
+
+        class Store:
+            def __init__(self):
+                self.index_lock = threading.Lock()
+                self.data_lock = threading.Lock()
+
+            def read(self):
+                with self.index_lock:
+                    with self.data_lock:
+                        return self._data
+
+            def write(self, value):
+                with self.index_lock:
+                    with self.data_lock:
+                        self._data = value
+        """
+        analyzer = analyzer_for(consistent)
+        assert analyzer.cycles() == []
+        assert analyzer.findings() == []
+        assert analyzer.graph() == {"Store.index_lock": ["Store.data_lock"]}
+
+    def test_cross_file_inversion_is_detected(self):
+        # The graph accumulates across files: reader.py takes A→B,
+        # writer.py (same class name) takes B→A.
+        reader = """
+        class Store:
+            def read(self):
+                with self.a_lock:
+                    with self.b_lock:
+                        pass
+        """
+        writer = """
+        class Store:
+            def write(self):
+                with self.b_lock:
+                    with self.a_lock:
+                        pass
+        """
+        analyzer = LockOrderAnalyzer()
+        analyzer.add_file("reader.py", textwrap.dedent(reader))
+        analyzer.add_file("writer.py", textwrap.dedent(writer))
+        assert len(analyzer.cycles()) == 1
+
+
+class TestGraphConstruction:
+    def test_single_with_multiple_items_orders_left_to_right(self):
+        code = """
+        class Pair:
+            def both(self):
+                with self.a_lock, self.b_lock:
+                    pass
+        """
+        analyzer = analyzer_for(code)
+        assert analyzer.graph() == {"Pair.a_lock": ["Pair.b_lock"]}
+
+    def test_reentrant_self_acquisition_is_not_an_edge(self):
+        code = """
+        import threading
+
+        class Metrics:
+            def __init__(self):
+                self._lock = threading.RLock()
+
+            def snapshot(self):
+                with self._lock:
+                    with self._lock:   # legal RLock re-entry
+                        return 1
+        """
+        analyzer = analyzer_for(code)
+        assert analyzer.edges == []
+        assert analyzer.cycles() == []
+
+    def test_contextmanager_factory_counts_as_acquisition(self):
+        code = """
+        class Cache:
+            def update(self, shard):
+                with self._store_lock(shard):
+                    with self.meta_lock:
+                        pass
+        """
+        analyzer = analyzer_for(code)
+        (edge,) = analyzer.edges
+        assert edge.outer == "Cache._store_lock"
+        assert edge.inner == "Cache.meta_lock"
+
+    def test_call_through_edge_via_method_summary(self):
+        # read() holds index_lock and calls _load(), which takes data_lock:
+        # the edge exists even though the with-blocks never nest textually.
+        code = """
+        import threading
+
+        class Store:
+            def __init__(self):
+                self.index_lock = threading.Lock()
+                self.data_lock = threading.Lock()
+
+            def read(self):
+                with self.index_lock:
+                    return self._load()
+
+            def _load(self):
+                with self.data_lock:
+                    return self._data
+        """
+        analyzer = analyzer_for(code)
+        (edge,) = analyzer.edges
+        assert (edge.outer, edge.inner) == ("Store.index_lock", "Store.data_lock")
+        assert edge.via == "self._load"
+
+    def test_transitive_call_through_is_summarised_to_fixpoint(self):
+        code = """
+        import threading
+
+        class Store:
+            def __init__(self):
+                self.a_lock = threading.Lock()
+                self.b_lock = threading.Lock()
+
+            def outer(self):
+                with self.a_lock:
+                    self._middle()
+
+            def _middle(self):
+                self._inner()
+
+            def _inner(self):
+                with self.b_lock:
+                    pass
+        """
+        analyzer = analyzer_for(code)
+        assert [(e.outer, e.inner) for e in analyzer.edges] == [("Store.a_lock", "Store.b_lock")]
+
+    def test_non_lock_context_managers_are_ignored(self):
+        code = """
+        class Exporter:
+            def export(self, path):
+                with self.span("export"):
+                    with path.open("a") as f:
+                        f.write("x")
+        """
+        analyzer = analyzer_for(code)
+        assert analyzer.acquisitions == []
+        assert analyzer.edges == []
+
+    def test_lockish_names_count_without_constructor_evidence(self):
+        # `self._cond` never appears with a threading constructor in this
+        # file, but the name says synchronisation.
+        code = """
+        class Queue:
+            def drain(self):
+                with self._cond:
+                    pass
+        """
+        analyzer = analyzer_for(code)
+        (acq,) = analyzer.acquisitions
+        assert acq.lock == "Queue._cond"
+        assert acq.function == "drain"
+
+    def test_module_level_bare_lock_names(self):
+        code = """
+        import threading
+
+        _registry_lock = threading.Lock()
+
+        def register(name):
+            with _registry_lock:
+                pass
+        """
+        analyzer = analyzer_for(code)
+        (acq,) = analyzer.acquisitions
+        assert acq.lock == "_registry_lock"
+
+    def test_syntax_error_files_are_skipped(self):
+        analyzer = LockOrderAnalyzer()
+        analyzer.add_file("bad.py", "def broken(:\n")
+        assert analyzer.acquisitions == []
+
+    def test_edge_and_acquisition_dicts(self):
+        analyzer = analyzer_for(INVERSION)
+        for record in analyzer.acquisitions:
+            assert set(record.to_dict()) == {"lock", "file", "line", "function"}
+        for edge in analyzer.edges:
+            assert set(edge.to_dict()) == {"outer", "inner", "file", "line", "via"}

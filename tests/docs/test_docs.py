@@ -2,7 +2,8 @@
 
 Structural only: these tests assert that the documentation files exist and
 still mention the entry points they exist to explain, and that every public
-symbol of :mod:`repro.serving` and :mod:`repro.feedback.ranker` carries a
+symbol of :mod:`repro.serving`, :mod:`repro.feedback.ranker`,
+:mod:`repro.dpo.stream`, :mod:`repro.obs` and :mod:`repro.analysis` carries a
 docstring.  Content quality is reviewed by humans; absence is caught here.
 """
 
@@ -59,6 +60,27 @@ class TestDocumentationFiles:
             assert needle in text, f"docs/pipeline.md no longer documents {needle!r}"
         readme = (REPO_ROOT / "README.md").read_text()
         assert "docs/pipeline.md" in readme, "README.md no longer links the pipeline guide"
+
+    def test_analysis_guide_exists(self):
+        guide = REPO_ROOT / "docs" / "analysis.md"
+        assert guide.is_file(), "docs/analysis.md is missing"
+        text = guide.read_text()
+        for needle in (
+            "atomic-write",
+            "falsy-default",
+            "unguarded-shared-mutation",
+            "rebind-shared-container",
+            "nondeterministic-iteration",
+            "swallowed-exception",
+            "repro: allow[",             # the suppression syntax is documented
+            "Origin",                    # every rule names its originating bug
+            "lock-order",                # the analyzer walkthrough survives
+            "repro-lint",
+            "make lint",
+        ):
+            assert needle in text, f"docs/analysis.md no longer documents {needle!r}"
+        readme = (REPO_ROOT / "README.md").read_text()
+        assert "docs/analysis.md" in readme, "README.md no longer links the analysis guide"
 
     def test_observability_guide_exists(self):
         guide = REPO_ROOT / "docs" / "observability.md"
@@ -182,6 +204,42 @@ class TestPublicApiDocstrings:
             ]
             assert not undocumented, f"undocumented public methods: {undocumented}"
 
+    def test_every_public_analysis_symbol_has_a_docstring(self):
+        import repro.analysis as analysis
+
+        undocumented = [
+            name
+            for name in analysis.__all__
+            if not (getattr(analysis, name).__doc__ or "").strip()
+        ]
+        assert not undocumented, f"repro.analysis symbols missing docstrings: {undocumented}"
+
+    def test_analysis_public_methods_are_documented(self):
+        from repro.analysis import AnalysisReport, Finding, LockOrderAnalyzer
+        from repro.analysis.rules import DEFAULT_RULES
+
+        for cls in (Finding, AnalysisReport, LockOrderAnalyzer, *DEFAULT_RULES):
+            undocumented = [
+                f"{cls.__name__}.{name}"
+                for name, member in vars(cls).items()
+                if not name.startswith("_")
+                and (inspect.isfunction(member) or isinstance(member, property))
+                and not (
+                    (member.fget.__doc__ if isinstance(member, property) else member.__doc__)
+                    or ""
+                ).strip()
+            ]
+            assert not undocumented, f"undocumented public methods: {undocumented}"
+
+    def test_every_rule_is_catalogued_in_the_guide(self):
+        """docs/analysis.md is the rule reference: a rule shipped without a
+        catalogue entry is undocumented API."""
+        from repro.analysis.rules import default_rules
+
+        text = (REPO_ROOT / "docs" / "analysis.md").read_text()
+        missing = [rule.rule_id for rule in default_rules() if f"`{rule.rule_id}`" not in text]
+        assert not missing, f"rules absent from docs/analysis.md: {missing}"
+
     def test_every_public_ranker_symbol_has_a_docstring(self):
         import repro.feedback.ranker as ranker
 
@@ -198,6 +256,11 @@ class TestPublicApiDocstrings:
         assert not undocumented, f"repro.feedback.ranker symbols missing docstrings: {undocumented}"
 
     def test_module_docstrings_present(self):
+        import repro.analysis
+        import repro.analysis.cli
+        import repro.analysis.engine
+        import repro.analysis.locks
+        import repro.analysis.rules
         import repro.serving
         import repro.serving.backends
         import repro.serving.cache
@@ -215,7 +278,15 @@ class TestPublicApiDocstrings:
         import repro.obs.report
         import repro.obs.tracer
 
+        import repro.utils.atomic
+
         for module in (
+            repro.analysis,
+            repro.analysis.cli,
+            repro.analysis.engine,
+            repro.analysis.locks,
+            repro.analysis.rules,
+            repro.utils.atomic,
             repro.serving,
             repro.serving.backends,
             repro.serving.cache,

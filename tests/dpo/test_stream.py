@@ -281,18 +281,23 @@ class TestDatasetWriter:
             writer.handle.wait_sealed(timeout=1)
 
     def test_fail_still_fails_the_handle_when_spill_cleanup_raises(self, toy_tokenizer, tmp_path):
-        """Regression: a spill close() re-raising (e.g. ENOSPC on flush) must
-        not prevent the handle from being failed — waiters would hang."""
+        """Regression: a spill discard() re-raising (e.g. ENOSPC on the close
+        flush) must not prevent the handle from being failed — waiters would
+        hang."""
         writer = DPODatasetWriter(toy_tokenizer, max_seq_len=48, spill_path=tmp_path / "pairs.jsonl")
+        writer._spill_file.discard()  # release the real spill's tmp file
 
-        class ExplodingFile:
-            def close(self):
+        class ExplodingSpill:
+            def commit(self):
+                raise OSError("no space left on device")
+
+            def discard(self):
                 raise OSError("no space left on device")
 
             def write(self, _text):
                 raise OSError("no space left on device")
 
-        writer._spill_file = ExplodingFile()
+        writer._spill_file = ExplodingSpill()
         writer.fail(RuntimeError("original failure"))
         with pytest.raises(RuntimeError, match="original failure"):
             writer.handle.wait_sealed(timeout=1)

@@ -1,0 +1,106 @@
+"""repro.utils.atomic: the tmp + os.replace idiom and the incremental writer."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.utils.atomic import AtomicTextWriter, write_bytes_atomic, write_text_atomic
+from repro.utils.serialization import dump_json, dump_json_atomic, load_json
+
+
+def no_tmp_litter(tmp_path) -> bool:
+    return list(tmp_path.rglob("*.tmp.*")) == []
+
+
+class TestWholeFileHelpers:
+    def test_write_text_atomic_creates_parents_and_cleans_tmp(self, tmp_path):
+        target = tmp_path / "deep" / "nested" / "out.txt"
+        assert write_text_atomic(target, "hello") == target
+        assert target.read_text() == "hello"
+        assert no_tmp_litter(tmp_path)
+
+    def test_write_text_atomic_replaces_existing_content(self, tmp_path):
+        target = tmp_path / "out.txt"
+        write_text_atomic(target, "old")
+        write_text_atomic(target, "new")
+        assert target.read_text() == "new"
+
+    def test_write_bytes_atomic(self, tmp_path):
+        target = tmp_path / "out.bin"
+        write_bytes_atomic(target, b"\x00\x01")
+        assert target.read_bytes() == b"\x00\x01"
+        assert no_tmp_litter(tmp_path)
+
+    def test_dump_json_is_atomic_and_aliased(self, tmp_path):
+        # Serialization failure must not touch an existing artifact: the
+        # payload is encoded before any file is opened.
+        target = tmp_path / "doc.json"
+        dump_json({"ok": 1}, target)
+        with pytest.raises(TypeError):
+            dump_json({"bad": object()}, target)
+        assert load_json(target) == {"ok": 1}
+        assert no_tmp_litter(tmp_path)
+        assert dump_json_atomic is dump_json
+
+
+class TestAtomicTextWriter:
+    def test_target_invisible_until_commit(self, tmp_path):
+        target = tmp_path / "records.jsonl"
+        writer = AtomicTextWriter(target)
+        writer.write(json.dumps({"i": 1}) + "\n")
+        writer.flush()
+        assert not target.exists()
+        assert writer.tmp_path.exists()
+        assert writer.tmp_path.name.startswith("records.jsonl.tmp.")
+        writer.write(json.dumps({"i": 2}) + "\n")
+        assert writer.commit() == target
+        assert [json.loads(line) for line in target.read_text().splitlines()] == [
+            {"i": 1},
+            {"i": 2},
+        ]
+        assert no_tmp_litter(tmp_path)
+
+    def test_discard_drops_the_partial_file(self, tmp_path):
+        target = tmp_path / "records.jsonl"
+        writer = AtomicTextWriter(target)
+        writer.write("partial")
+        writer.discard()
+        assert not target.exists()
+        assert no_tmp_litter(tmp_path)
+
+    def test_commit_and_discard_are_idempotent(self, tmp_path):
+        target = tmp_path / "out.txt"
+        writer = AtomicTextWriter(target)
+        writer.write("x")
+        writer.commit()
+        writer.commit()
+        writer.discard()  # after commit: a no-op, the file stays
+        assert target.read_text() == "x"
+
+    def test_failed_commit_cleans_tmp_and_keeps_old_content(self, tmp_path):
+        import shutil
+
+        target = tmp_path / "dir" / "out.txt"
+        writer = AtomicTextWriter(target)
+        writer.write("new")
+        shutil.rmtree(target.parent)
+        with pytest.raises(OSError):
+            writer.commit()
+        assert no_tmp_litter(tmp_path)
+
+    def test_context_manager_commits_on_success(self, tmp_path):
+        target = tmp_path / "out.txt"
+        with AtomicTextWriter(target) as writer:
+            writer.write("done")
+        assert target.read_text() == "done"
+
+    def test_context_manager_discards_on_error(self, tmp_path):
+        target = tmp_path / "out.txt"
+        with pytest.raises(RuntimeError):
+            with AtomicTextWriter(target) as writer:
+                writer.write("half")
+                raise RuntimeError("boom")
+        assert not target.exists()
+        assert no_tmp_litter(tmp_path)
