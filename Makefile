@@ -13,12 +13,16 @@
 #   make trace-demo       traced quick-pipeline run -> runs/quick.trace.json
 #                         (load it in https://ui.perfetto.dev) plus the
 #                         terminal report (hottest specs, stage breakdown)
+#   make jobs-demo        durable-jobs daemon demo: submit a batch, kill -9
+#                         the daemon mid-batch, restart, verify every job
+#                         finished exactly once with one-shot-identical
+#                         scores (see docs/jobs.md)
 
 PYTHON ?= python
 PYTEST := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) $(PYTHON) -m pytest
 PYRUN := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) $(PYTHON)
 
-.PHONY: tier1 lint bench bench-multicore trace-demo
+.PHONY: tier1 lint bench bench-multicore trace-demo jobs-demo
 
 lint:
 	$(PYRUN) -m repro.analysis.cli src/repro
@@ -34,3 +38,6 @@ bench-multicore:
 
 trace-demo:
 	$(PYRUN) examples/trace_demo.py runs/quick.trace.json
+
+jobs-demo:
+	$(PYRUN) examples/jobs_demo.py runs/jobs-demo

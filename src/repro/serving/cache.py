@@ -21,10 +21,24 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Mapping
 
+from repro.utils.retry import RetryPolicy, call_with_retry
 from repro.utils.serialization import dump_json_atomic, load_json
 
 #: Bump when the key layout changes so stale persisted caches are ignored.
 CACHE_SCHEMA_VERSION = 1
+
+#: Backoff between compaction-lock acquisition attempts: a takeover that wins
+#: the rename-aside claim still has to win the fresh ``O_EXCL`` create, and a
+#: holder observed releasing between ``open`` and ``stat`` deserves one more
+#: look — both retry once, after a short fixed pause (no jitter: the rename
+#: already arbitrates races, so determinism wins over spread).
+COMPACTION_LOCK_RETRY = RetryPolicy(
+    max_attempts=2, base_delay=0.01, multiplier=1.0, max_delay=0.01, jitter=0.0
+)
+
+
+class _LockContended(Exception):
+    """Internal: the compaction lock is worth one more acquisition attempt."""
 
 
 def feedback_fingerprint(feedback, specifications: Mapping, *, seed: int = 0) -> str:
@@ -350,7 +364,7 @@ class CacheDirectory:
         return total
 
     # ------------------------------------------------------------------ #
-    def _try_acquire_compaction_lock(self, stale_after: float) -> bool:
+    def _try_acquire_compaction_lock(self, stale_after: float, *, sleep=time.sleep) -> bool:
         """Atomically claim the directory-wide compaction lock, or report busy.
 
         The lock is a file created with ``O_CREAT | O_EXCL`` (atomic on every
@@ -361,30 +375,42 @@ class CacheDirectory:
         (crashed mid-compaction) and the lock is taken over via
         :meth:`_takeover_stale_lock`: an atomic rename-aside claim that
         exactly one of several racing takeover attempts can win, followed by
-        one fresh ``O_EXCL`` attempt.
+        one fresh ``O_EXCL`` attempt.  Retry timing (one extra attempt, after
+        a short pause) is :data:`COMPACTION_LOCK_RETRY` driven through the
+        shared :func:`repro.utils.retry.call_with_retry`; ``sleep`` is
+        injectable so tests assert the backoff without waiting it out.
         """
+        try:
+            return call_with_retry(
+                lambda: self._attempt_compaction_lock(stale_after),
+                policy=COMPACTION_LOCK_RETRY,
+                retry_on=(_LockContended,),
+                sleep=sleep,
+            )
+        except _LockContended:
+            return False  # still contended after the policy's attempts: busy
+
+    def _attempt_compaction_lock(self, stale_after: float) -> bool:
+        """One acquisition attempt: True (held), False (live holder — give
+        up), or :class:`_LockContended` (a retry may succeed)."""
         lock = self.root / self.COMPACT_LOCK_NAME
-        for attempt in range(2):
+        try:
+            fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
             try:
-                fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
-            except FileExistsError:
-                if attempt:
-                    return False
-                try:
-                    age = time.time() - lock.stat().st_mtime
-                except OSError:
-                    continue  # holder released between open and stat; retry
-                if age <= stale_after:
-                    return False  # a live process is compacting; skip this round
-                if not self._takeover_stale_lock(lock, stale_after):
-                    return False
-                continue
-            try:
-                os.write(fd, self._lock_owner_tag())
-            finally:
-                os.close(fd)
-            return True
-        return False
+                age = time.time() - lock.stat().st_mtime
+            except OSError:
+                raise _LockContended("holder released between open and stat") from None
+            if age <= stale_after:
+                return False  # a live process is compacting; skip this round
+            if not self._takeover_stale_lock(lock, stale_after):
+                return False
+            raise _LockContended("stale lock taken over; re-attempt the create")
+        try:
+            os.write(fd, self._lock_owner_tag())
+        finally:
+            os.close(fd)
+        return True
 
     def _lock_owner_tag(self) -> bytes:
         """This process's identity, written into the lock it holds."""

@@ -74,6 +74,18 @@ streaming:
                       verification work queued on the dispatcher; time spent
                       blocked is reported in the telemetry line
 
+daemon mode:
+  repro-serve daemon --socket S --store DIR [service flags]
+                      run feedback scoring as a durable multi-client service:
+                      every job is journaled before it is acknowledged, so a
+                      killed daemon restarted on the same --store resumes and
+                      finishes every accepted job exactly once, with scores
+                      identical to a one-shot run
+  repro-serve submit|status|watch --socket S
+                      submit a JSONL file as a batch (--wait writes the same
+                      scored records a one-shot run would), query job/batch/
+                      daemon state, or stream progress events (docs/jobs.md)
+
 training data:
   --pairs-output PATH write a DPO-ready preference dataset next to the scored
                       records: responses are grouped per task, ranked by
@@ -87,15 +99,20 @@ training data:
 """
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro-serve",
-        description="Score step-by-step driving responses through the batched feedback service.",
-        epilog=EPILOG,
-        formatter_class=argparse.RawDescriptionHelpFormatter,
-    )
-    parser.add_argument("jsonl", type=Path, help="input JSONL file of {task, response} objects")
-    parser.add_argument("-o", "--output", type=Path, default=None, help="output JSONL path (default: stdout)")
+#: Subcommands routed to :mod:`repro.jobs.cli` (the daemon mode); everything
+#: else is the original one-shot scoring path, byte-for-byte.
+JOBS_COMMANDS = ("daemon", "submit", "status", "watch")
+
+
+def add_service_arguments(parser: argparse.ArgumentParser) -> None:
+    """Add the service/config flags shared by every ``repro-serve`` entry point.
+
+    The one-shot parser and the ``daemon`` subcommand both call this, so a
+    daemon is configured with exactly the flags a one-shot run understands —
+    same names, same defaults, same help text.  Pair with
+    :func:`serving_config_from_args` / :func:`build_specifications` /
+    :func:`build_feedback` to turn the parsed values into service inputs.
+    """
     parser.add_argument("--mode", choices=("formal", "empirical"), default="formal", help="feedback channel")
     parser.add_argument("--core-specs", action="store_true", help="score against Φ1-Φ5 only instead of all 15 rules")
     parser.add_argument(
@@ -117,6 +134,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="compact the shared cache directory to this many total bytes",
     )
     parser.add_argument("--seed", type=int, default=0, help="seed for empirical trace collection")
+
+
+def build_specifications(args) -> dict:
+    """The specification set the parsed arguments select (core or all 15)."""
+    from repro.driving.specifications import all_specifications, core_specifications
+
+    return core_specifications() if args.core_specs else all_specifications()
+
+
+def build_feedback(args):
+    """The :class:`~repro.core.config.FeedbackConfig` for ``--mode``."""
+    from repro.core.config import FeedbackConfig
+
+    return FeedbackConfig(use_empirical=args.mode == "empirical")
+
+
+def serving_config_from_args(args, **overrides):
+    """Build the :class:`~repro.serving.config.ServingConfig` the flags describe.
+
+    ``overrides`` are extra ``ServingConfig`` fields an entry point adds on
+    top of the shared flags (the one-shot path passes its back-pressure
+    bounds).  Raises ``ValueError`` exactly as ``ServingConfig`` does.
+    """
+    from repro.serving import ServingConfig
+
+    return ServingConfig(
+        backend=args.backend,
+        max_workers=args.max_workers,
+        cache_size=args.cache_size,
+        persist_path=str(args.cache_file) if args.cache_file else None,
+        shared_cache_dir=str(args.cache_dir) if args.cache_dir else None,
+        shared_cache_max_entries=args.cache_max_entries,
+        shared_cache_max_bytes=args.cache_max_bytes,
+        **overrides,
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Score step-by-step driving responses through the batched feedback service.",
+        epilog=EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("jsonl", type=Path, help="input JSONL file of {task, response} objects")
+    parser.add_argument("-o", "--output", type=Path, default=None, help="output JSONL path (default: stdout)")
+    add_service_arguments(parser)
     parser.add_argument(
         "--batch-size", type=int, default=None,
         help="submit the input asynchronously in batches of this many records",
@@ -250,6 +314,14 @@ def write_records(records, output: Path | None) -> None:
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] in JOBS_COMMANDS:
+        # Daemon mode lives in repro.jobs (imported lazily so the one-shot
+        # path pays nothing for it); everything below is unchanged.
+        from repro.jobs.cli import main as jobs_main
+
+        return jobs_main(argv)
     args = build_parser().parse_args(argv)
 
     # Validate and load the whole input before building any verification
@@ -260,9 +332,7 @@ def main(argv=None) -> int:
         print(f"repro-serve: {exc}", file=sys.stderr)
         return 2
 
-    from repro.core.config import FeedbackConfig
-    from repro.driving.specifications import all_specifications, core_specifications
-    from repro.serving import Dispatcher, FeedbackJob, FeedbackService, ServingConfig
+    from repro.serving import Dispatcher, FeedbackJob, FeedbackService
 
     if args.batch_size is None and (
         args.max_inflight_batches is not None or args.max_inflight_jobs is not None
@@ -276,16 +346,10 @@ def main(argv=None) -> int:
         print(f"repro-serve: --batch-size must be positive, got {args.batch_size}", file=sys.stderr)
         return 2
 
-    specifications = core_specifications() if args.core_specs else all_specifications()
+    specifications = build_specifications(args)
     try:
-        config = ServingConfig(
-            backend=args.backend,
-            max_workers=args.max_workers,
-            cache_size=args.cache_size,
-            persist_path=str(args.cache_file) if args.cache_file else None,
-            shared_cache_dir=str(args.cache_dir) if args.cache_dir else None,
-            shared_cache_max_entries=args.cache_max_entries,
-            shared_cache_max_bytes=args.cache_max_bytes,
+        config = serving_config_from_args(
+            args,
             max_inflight_batches=args.max_inflight_batches,
             max_inflight_jobs=args.max_inflight_jobs,
         )
@@ -310,7 +374,7 @@ def main(argv=None) -> int:
     with Dispatcher(name="repro-serve") as dispatcher:
         with FeedbackService(
             specifications,
-            feedback=FeedbackConfig(use_empirical=args.mode == "empirical"),
+            feedback=build_feedback(args),
             config=config,
             seed=args.seed,
             dispatcher=dispatcher,

@@ -75,6 +75,13 @@ class ServingConfig:
         nothing is in flight — an oversized single batch is admitted rather
         than deadlocked).  Composes with ``max_inflight_batches``; either,
         both or neither may be set.
+    worker_retries:
+        How many times a *failed* process-backend worker pool (workers died,
+        ``BrokenExecutor``) is rebuilt — with the shared jittered-backoff
+        policy from :mod:`repro.utils.retry` — before the batch (and every
+        later one) degrades to the serial reference loop.  ``0`` (default)
+        keeps the historical degrade-on-first-failure behavior.  Scores are
+        identical either way; only the parallelism is at stake.
     """
 
     enabled: bool = True
@@ -87,6 +94,7 @@ class ServingConfig:
     shared_cache_max_bytes: int | None = None
     max_inflight_batches: int | None = None
     max_inflight_jobs: int | None = None
+    worker_retries: int = 0
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -118,3 +126,5 @@ class ServingConfig:
             )
         if self.max_inflight_jobs is not None and self.max_inflight_jobs <= 0:
             raise ValueError(f"max_inflight_jobs must be positive, got {self.max_inflight_jobs}")
+        if self.worker_retries < 0:
+            raise ValueError(f"worker_retries must be non-negative, got {self.worker_retries}")

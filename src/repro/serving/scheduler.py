@@ -83,6 +83,7 @@ from repro.serving.cache import (
 from repro.serving.config import ServingConfig
 from repro.serving.dedup import canonicalize_response, first_occurrence
 from repro.serving.metrics import ServingMetrics
+from repro.utils.retry import RetryPolicy
 
 
 @dataclass(frozen=True)
@@ -518,7 +519,16 @@ class FeedbackService:
         backend = self.config.backend
         if backend == "process" and self._payload is not None:
             if self._pool is None:
-                self._pool = WorkerPool(self._payload, max_workers=self.config.max_workers)
+                # ``worker_retries`` rebuilds a broken pool (jittered backoff,
+                # shared policy) before degrading to the serial loop for good.
+                retry = (
+                    RetryPolicy(max_attempts=self.config.worker_retries + 1)
+                    if self.config.worker_retries
+                    else None
+                )
+                self._pool = WorkerPool(
+                    self._payload, max_workers=self.config.max_workers, retry=retry
+                )
             return self._pool.run(jobs, fallback=self._scorer)
         if backend in ("thread", "process"):
             # "process" lands here only when no payload could be built — a

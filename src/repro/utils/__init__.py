@@ -1,6 +1,7 @@
-"""Shared utilities: seeded randomness, validation, atomic file writes."""
+"""Shared utilities: seeded randomness, validation, atomic writes, retries."""
 
 from repro.utils.atomic import AtomicTextWriter, write_bytes_atomic, write_text_atomic
+from repro.utils.retry import RetryPolicy, call_with_retry
 from repro.utils.rng import seeded_rng, spawn_rngs
 from repro.utils.validation import check_positive, check_probability, check_in_options
 
@@ -13,4 +14,6 @@ __all__ = [
     "AtomicTextWriter",
     "write_bytes_atomic",
     "write_text_atomic",
+    "RetryPolicy",
+    "call_with_retry",
 ]

@@ -82,6 +82,28 @@ class TestDocumentationFiles:
         readme = (REPO_ROOT / "README.md").read_text()
         assert "docs/analysis.md" in readme, "README.md no longer links the analysis guide"
 
+    def test_jobs_guide_exists(self):
+        guide = REPO_ROOT / "docs" / "jobs.md"
+        assert guide.is_file(), "docs/jobs.md is missing"
+        text = guide.read_text()
+        for needle in (
+            "JobsDaemon",
+            "JobsClient",
+            "JobStore",
+            "QuotaLedger",
+            "journal.jsonl",            # the durability format is documented
+            "snapshot",
+            "exactly one",              # the exactly-once invariant survives
+            "stream_progress",
+            "quota-exceeded",           # typed rejections are documented
+            "repro-serve daemon",
+            "byte-identical",           # parity with the one-shot path
+            "make jobs-demo",
+        ):
+            assert needle in text, f"docs/jobs.md no longer documents {needle!r}"
+        readme = (REPO_ROOT / "README.md").read_text()
+        assert "docs/jobs.md" in readme, "README.md no longer links the jobs guide"
+
     def test_observability_guide_exists(self):
         guide = REPO_ROOT / "docs" / "observability.md"
         assert guide.is_file(), "docs/observability.md is missing"
@@ -166,6 +188,33 @@ class TestPublicApiDocstrings:
         from repro.dpo.stream import DatasetHandle, DPODatasetWriter, PairStream
 
         for cls in (PairStream, DatasetHandle, DPODatasetWriter):
+            undocumented = [
+                f"{cls.__name__}.{name}"
+                for name, member in vars(cls).items()
+                if not name.startswith("_")
+                and (inspect.isfunction(member) or isinstance(member, property))
+                and not (
+                    (member.fget.__doc__ if isinstance(member, property) else member.__doc__)
+                    or ""
+                ).strip()
+            ]
+            assert not undocumented, f"undocumented public methods: {undocumented}"
+
+    def test_every_public_jobs_symbol_has_a_docstring(self):
+        import repro.jobs as jobs
+
+        undocumented = [
+            name
+            for name in jobs.__all__
+            if not isinstance(getattr(jobs, name), (str, tuple, frozenset, dict))
+            and not (getattr(jobs, name).__doc__ or "").strip()
+        ]
+        assert not undocumented, f"repro.jobs symbols missing docstrings: {undocumented}"
+
+    def test_jobs_public_methods_are_documented(self):
+        from repro.jobs import Batch, Job, JobsClient, JobsDaemon, JobStore, QuotaLedger
+
+        for cls in (Job, Batch, JobStore, QuotaLedger, JobsDaemon, JobsClient):
             undocumented = [
                 f"{cls.__name__}.{name}"
                 for name, member in vars(cls).items()
@@ -278,9 +327,25 @@ class TestPublicApiDocstrings:
         import repro.obs.report
         import repro.obs.tracer
 
+        import repro.jobs
+        import repro.jobs.cli
+        import repro.jobs.client
+        import repro.jobs.models
+        import repro.jobs.quota
+        import repro.jobs.server
+        import repro.jobs.store
         import repro.utils.atomic
+        import repro.utils.retry
 
         for module in (
+            repro.jobs,
+            repro.jobs.cli,
+            repro.jobs.client,
+            repro.jobs.models,
+            repro.jobs.quota,
+            repro.jobs.server,
+            repro.jobs.store,
+            repro.utils.retry,
             repro.analysis,
             repro.analysis.cli,
             repro.analysis.engine,

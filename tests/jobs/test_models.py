@@ -1,0 +1,112 @@
+"""The job/batch records and their explicit state machine."""
+
+import pytest
+
+from repro.jobs import (
+    CANCELLED,
+    FAILED,
+    JOB_STATES,
+    PENDING,
+    RETRYING,
+    RUNNING,
+    SUCCEEDED,
+    TERMINAL_STATES,
+    VALID_TRANSITIONS,
+    Batch,
+    InvalidTransitionError,
+    Job,
+)
+
+
+def _job(**kwargs) -> Job:
+    defaults = dict(
+        job_id="j-000001",
+        client_id="c",
+        task="t",
+        scenario="s",
+        response="r",
+        created_at=1.0,
+        updated_at=1.0,
+    )
+    defaults.update(kwargs)
+    return Job(**defaults)
+
+
+class TestStateMachine:
+    def test_happy_path_sets_score_and_timestamps(self):
+        job = _job()
+        running = job.transition(RUNNING, at=2.0, attempts=1)
+        done = running.transition(SUCCEEDED, at=3.0, score=7)
+        assert (running.state, running.attempts, running.updated_at) == (RUNNING, 1, 2.0)
+        assert (done.state, done.score, done.updated_at) == (SUCCEEDED, 7, 3.0)
+        assert done.created_at == 1.0  # creation time never moves
+        assert done.is_terminal and not running.is_terminal
+        assert job.state == PENDING  # frozen: the original is untouched
+
+    def test_retry_loop_and_failure(self):
+        job = _job().transition(RUNNING, at=2.0, attempts=1)
+        retrying = job.transition(RETRYING, at=3.0, error="boom")
+        again = retrying.transition(RUNNING, at=4.0, attempts=2)
+        failed = again.transition(FAILED, at=5.0, error="boom again")
+        assert retrying.error == "boom"
+        assert again.attempts == 2
+        assert (failed.state, failed.error) == (FAILED, "boom again")
+
+    def test_success_clears_stale_error(self):
+        job = _job().transition(RUNNING, at=2.0, attempts=1)
+        job = job.transition(RETRYING, at=3.0, error="transient")
+        job = job.transition(RUNNING, at=4.0, attempts=2)
+        done = job.transition(SUCCEEDED, at=5.0, score=1)
+        assert done.error is None
+
+    @pytest.mark.parametrize("terminal", sorted(TERMINAL_STATES))
+    def test_terminal_states_are_final(self, terminal):
+        path = {SUCCEEDED: SUCCEEDED, FAILED: FAILED, CANCELLED: CANCELLED}[terminal]
+        if terminal == CANCELLED:
+            job = _job().transition(CANCELLED, at=2.0)
+        else:
+            job = _job().transition(RUNNING, at=2.0, attempts=1).transition(
+                path, at=3.0, score=0 if terminal == SUCCEEDED else None
+            )
+        for state in JOB_STATES:
+            with pytest.raises(InvalidTransitionError):
+                job.transition(state, at=4.0)
+
+    def test_illegal_moves_raise(self):
+        with pytest.raises(InvalidTransitionError):
+            _job().transition(SUCCEEDED, at=2.0, score=1)  # pending cannot skip running
+        with pytest.raises(InvalidTransitionError):
+            _job().transition(RETRYING, at=2.0)
+        running = _job().transition(RUNNING, at=2.0, attempts=1)
+        with pytest.raises(InvalidTransitionError):
+            running.transition(CANCELLED, at=3.0)  # a running attempt cannot be aborted
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            _job(state="bogus")
+        with pytest.raises(ValueError):
+            _job(attempts=-1)
+        with pytest.raises(ValueError):
+            _job().transition("bogus", at=2.0)
+        with pytest.raises(ValueError):  # a score only accompanies success
+            _job().transition(RUNNING, at=2.0, score=3)
+
+    def test_transition_table_is_total(self):
+        assert set(VALID_TRANSITIONS) == set(JOB_STATES)
+        for state in TERMINAL_STATES:
+            assert not VALID_TRANSITIONS[state]
+
+
+class TestRecords:
+    def test_job_roundtrip(self):
+        job = _job(batch_id="b-000001").transition(RUNNING, at=2.0, attempts=1).transition(
+            SUCCEEDED, at=3.0, score=9
+        )
+        assert Job.from_record(job.to_record()) == job
+
+    def test_batch_roundtrip(self):
+        batch = Batch(
+            batch_id="b-000001", client_id="c", job_ids=("j-000001", "j-000002"), created_at=1.0
+        )
+        assert Batch.from_record(batch.to_record()) == batch
+        assert batch.to_record()["job_ids"] == ["j-000001", "j-000002"]

@@ -1,0 +1,125 @@
+"""The shared jittered-backoff policy and retry loop."""
+
+import random
+
+import pytest
+
+from repro.utils import RetryPolicy, call_with_retry
+
+
+class TestRetryPolicy:
+    def test_delay_progression_caps_at_max(self):
+        policy = RetryPolicy(max_attempts=5, base_delay=0.1, multiplier=2.0, max_delay=0.35)
+        assert [policy.delay(n) for n in (1, 2, 3, 4)] == [0.1, 0.2, 0.35, 0.35]
+
+    def test_jitter_stays_within_band(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=1.0, max_delay=1.0, jitter=0.25)
+        rng = random.Random(7)
+        for _ in range(100):
+            assert 0.75 <= policy.delay(1, rng) <= 1.25
+
+    def test_no_rng_means_deterministic(self):
+        policy = RetryPolicy(base_delay=0.5, jitter=0.5)
+        assert policy.delay(1) == 0.5
+
+    def test_delays_enumerates_the_waits(self):
+        policy = RetryPolicy(max_attempts=4, base_delay=0.1, multiplier=2.0, max_delay=10.0, jitter=0.0)
+        assert list(policy.delays()) == [pytest.approx(0.1), pytest.approx(0.2), pytest.approx(0.4)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_delay=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+
+class TestCallWithRetry:
+    def test_succeeds_after_transient_failures(self):
+        attempts = []
+
+        def flaky():
+            attempts.append(len(attempts))
+            if len(attempts) < 3:
+                raise RuntimeError("transient")
+            return "ok"
+
+        slept = []
+        result = call_with_retry(
+            flaky,
+            policy=RetryPolicy(max_attempts=3, base_delay=0.1, multiplier=2.0, max_delay=9.0),
+            sleep=slept.append,
+        )
+        assert result == "ok"
+        assert len(attempts) == 3
+        assert slept == [pytest.approx(0.1), pytest.approx(0.2)]
+
+    def test_exhaustion_raises_the_last_error(self):
+        def always_fails():
+            raise RuntimeError("permanent")
+
+        with pytest.raises(RuntimeError, match="permanent"):
+            call_with_retry(
+                always_fails,
+                policy=RetryPolicy(max_attempts=2, base_delay=0.01),
+                sleep=lambda _s: None,
+            )
+
+    def test_non_matching_exceptions_propagate_immediately(self):
+        calls = []
+
+        def raises_type_error():
+            calls.append(1)
+            raise TypeError("not retryable")
+
+        with pytest.raises(TypeError):
+            call_with_retry(
+                raises_type_error,
+                policy=RetryPolicy(max_attempts=5, base_delay=0.01),
+                retry_on=(RuntimeError,),
+                sleep=lambda _s: None,
+            )
+        assert len(calls) == 1
+
+    def test_on_retry_observes_each_failure(self):
+        seen = []
+
+        def fail_twice():
+            if len(seen) < 2:
+                raise RuntimeError(f"boom {len(seen)}")
+            return 42
+
+        result = call_with_retry(
+            fail_twice,
+            policy=RetryPolicy(max_attempts=3, base_delay=0.5, multiplier=2.0, max_delay=9.0),
+            sleep=lambda _s: None,
+            on_retry=lambda failures, exc, wait: seen.append((failures, str(exc), wait)),
+        )
+        assert result == 42
+        assert seen == [
+            (1, "boom 0", pytest.approx(0.5)),
+            (2, "boom 1", pytest.approx(1.0)),
+        ]
+
+    def test_jittered_sleeps_use_the_supplied_rng(self):
+        failures = []
+
+        def fail_once():
+            if not failures:
+                failures.append(1)
+                raise RuntimeError("once")
+            return True
+
+        slept = []
+        policy = RetryPolicy(max_attempts=2, base_delay=1.0, multiplier=1.0, max_delay=1.0, jitter=0.5)
+        assert call_with_retry(
+            fail_once, policy=policy, sleep=slept.append, rng=random.Random(3)
+        )
+        assert len(slept) == 1 and 0.5 <= slept[0] <= 1.5
