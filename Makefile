@@ -10,6 +10,9 @@
 #                         benchmarks/conftest.py
 #   make bench-multicore  only the multicore speedup assertions (needs >= 2
 #                         CPU cores; they skip themselves otherwise)
+#   make bench-modelcheck cold verification throughput: optimized checker vs
+#                         the naive reference; asserts the >= 5x floor and
+#                         verdict equality (see docs/modelcheck.md)
 #   make trace-demo       traced quick-pipeline run -> runs/quick.trace.json
 #                         (load it in https://ui.perfetto.dev) plus the
 #                         terminal report (hottest specs, stage breakdown)
@@ -22,7 +25,7 @@ PYTHON ?= python
 PYTEST := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) $(PYTHON) -m pytest
 PYRUN := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) $(PYTHON)
 
-.PHONY: tier1 lint bench bench-multicore trace-demo jobs-demo
+.PHONY: tier1 lint bench bench-multicore bench-modelcheck trace-demo jobs-demo
 
 lint:
 	$(PYRUN) -m repro.analysis.cli src/repro
@@ -35,6 +38,9 @@ bench:
 
 bench-multicore:
 	$(PYTEST) benchmarks -q -s -m multicore
+
+bench-modelcheck:
+	$(PYTEST) benchmarks/test_bench_modelcheck.py -q -s
 
 trace-demo:
 	$(PYRUN) examples/trace_demo.py runs/quick.trace.json

@@ -32,8 +32,17 @@ class FormalFeedback:
 
     @property
     def satisfaction_ratio(self) -> float:
+        """Fraction of specifications satisfied; 1.0 when there are none.
+
+        Vacuous truth, matching
+        :attr:`~repro.modelcheck.checker.VerificationReport.satisfaction_ratio`:
+        with an empty rule book nothing can be violated, so a controller is
+        (trivially) fully compliant rather than maximally non-compliant.
+        ``parse_failed`` feedback always carries the full rule book as
+        ``violated``, so an unparseable response still scores 0.0.
+        """
         if self.num_specifications == 0:
-            return 0.0
+            return 1.0
         return self.num_satisfied / self.num_specifications
 
     def describe(self) -> str:
@@ -91,6 +100,26 @@ class FormalVerifier:
             satisfied=satisfied,
             violated=violated,
             controller_states=controller.num_states,
+        )
+
+    def satisfies_at_least(
+        self, model: TransitionSystem, controller: FSAController, threshold: int
+    ) -> bool:
+        """Does the controller satisfy at least ``threshold`` specifications?
+
+        The ordering-only fast query: rankers comparing candidate responses
+        need "is this one's score ≥ k", not the exact satisfied set, and
+        :meth:`ModelChecker.verify_controller_at_least
+        <repro.modelcheck.checker.ModelChecker.verify_controller_at_least>`
+        stops checking as soon as the answer is decided.
+        """
+        return self.checker.verify_controller_at_least(
+            model,
+            controller,
+            self.specifications.values(),
+            threshold,
+            restart_on_termination=self.restart_on_termination,
+            spec_names=list(self.specifications),
         )
 
     def verify_response(self, model: TransitionSystem, response_text: str, *, task: str = "") -> FormalFeedback:

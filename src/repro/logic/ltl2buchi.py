@@ -54,6 +54,13 @@ class _Translator:
     def __init__(self) -> None:
         self._counter = itertools.count()
         self.nodes: dict[int, _Node] = {}
+        # Committed nodes indexed by their (Old, Next) obligations.  The merge
+        # step of GPVW folds a fully-expanded node into the existing node with
+        # identical obligations; at most one committed node per key can exist
+        # (commit only happens after this lookup misses), so the dict lookup
+        # replaces the original O(n) scan over all committed nodes without
+        # changing which node absorbs the merge.
+        self._by_obligations: dict[tuple, _Node] = {}
 
     def fresh_node(self, incoming: set, new: set, old: set, nxt: set) -> _Node:
         node = _Node(next(self._counter), set(incoming), set(new), set(old), set(nxt))
@@ -68,11 +75,13 @@ class _Translator:
     def expand(self, node: _Node) -> None:
         if not node.new:
             # All obligations for this position processed: merge or commit.
-            for existing in self.nodes.values():
-                if existing.old == node.old and existing.next == node.next:
-                    existing.incoming |= node.incoming
-                    return
+            key = (frozenset(node.old), frozenset(node.next))
+            existing = self._by_obligations.get(key)
+            if existing is not None:
+                existing.incoming |= node.incoming
+                return
             self.nodes[node.node_id] = node
+            self._by_obligations[key] = node
             successor = self.fresh_node({node.node_id}, set(node.next), set(), set())
             self.expand(successor)
             return
@@ -140,6 +149,18 @@ class _Translator:
         if isinstance(literal, Not) and isinstance(literal.operand, Atom):
             return literal.operand in old
         return False
+
+
+def formula_key(formula: Formula) -> str:
+    """Canonical text of a formula, usable as a construction-memo key.
+
+    :meth:`Formula.__str__ <repro.logic.ast.Formula>` parenthesizes every
+    binary operator, so distinct formula trees never render identically —
+    two formulas share a key exactly when they are structurally equal.  The
+    fast path's :class:`~repro.modelcheck.fastpath.BuchiMemo` keys its
+    translations (and their persisted shard entries) on this string.
+    """
+    return str(formula)
 
 
 def _literal_constraint(old: set) -> LabelConstraint:

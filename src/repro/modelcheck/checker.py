@@ -6,10 +6,24 @@ with the Kripke structure, and search for a reachable accepting cycle
 (a *lasso*).  If one exists the specification is violated and the lasso is
 returned as a counter-example; otherwise the specification holds for every
 possible initial state, exactly the verdict NuSMV would report.
+
+Two implementations of that algorithm live here:
+
+* the **naive path** (:class:`NaiveModelChecker`, or
+  ``ModelChecker(use_fastpath=False)``) — the original object-graph BFS,
+  kept frozen as the differential-testing reference;
+* the **fast path** (the :class:`ModelChecker` default) — memoized Büchi
+  construction, automaton pruning, integer-compiled products and a
+  verification-result cache, built from :mod:`repro.modelcheck.fastpath`.
+  Verdicts are identical (``tests/modelcheck/test_differential.py`` holds the
+  two paths to the same ``holds`` on every catalogue task and a fuzz corpus);
+  counterexamples may differ in the particular lasso chosen but are always
+  genuine violations.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
@@ -22,8 +36,9 @@ from repro.automata.product import build_product
 from repro.automata.transition_system import TransitionSystem
 from repro.errors import VerificationError
 from repro.logic.ast import Formula, Not
-from repro.logic.ltl2buchi import ltl_to_buchi
+from repro.logic.ltl2buchi import formula_key, ltl_to_buchi
 from repro.logic.parser import parse_ltl
+from repro.modelcheck import fastpath
 from repro.modelcheck.counterexample import Counterexample, make_counterexample
 
 
@@ -63,8 +78,18 @@ class VerificationReport:
 
     @property
     def satisfaction_ratio(self) -> float:
+        """Fraction of specifications satisfied; 1.0 for an empty report.
+
+        The empty case is *vacuously true*: the report answers "do all checked
+        specifications hold?", and a universal quantification over nothing
+        holds (an empty rule book rejects nothing).  Earlier versions returned
+        0.0 here, which made a controller verified against zero specs look
+        maximally non-compliant; :attr:`FormalFeedback.satisfaction_ratio
+        <repro.feedback.formal.FormalFeedback.satisfaction_ratio>` follows the
+        same convention.
+        """
         if not self.results:
-            return 0.0
+            return 1.0
         return self.num_satisfied / self.num_specifications
 
     @property
@@ -85,10 +110,47 @@ class ModelChecker:
     max_product_states:
         Safety limit on the size of the Kripke × Büchi product; exceeded sizes
         raise :class:`~repro.errors.VerificationError` rather than hanging.
+    use_fastpath:
+        When True (default), check through :mod:`repro.modelcheck.fastpath`:
+        memoized + pruned Büchi construction, integer-compiled products and
+        the verification-result cache.  When False, run the original
+        object-graph algorithm — the frozen reference the differential suite
+        compares against (see :class:`NaiveModelChecker`).
+    result_cache_size:
+        Bound on the per-checker :class:`~repro.modelcheck.fastpath.ResultCache`
+        of ``(model, controller, restart, spec) → VerificationResult`` entries;
+        ``0`` disables result caching.  Fast path only.
+    memo:
+        The :class:`~repro.modelcheck.fastpath.BuchiMemo` construction memo to
+        use; defaults to the process-wide one
+        (:func:`~repro.modelcheck.fastpath.automata_memo`).  Pass a private
+        instance to isolate benchmarks and tests from earlier translations.
     """
 
-    def __init__(self, max_product_states: int = 200_000):
+    def __init__(
+        self,
+        max_product_states: int = 200_000,
+        *,
+        use_fastpath: bool = True,
+        result_cache_size: int = 512,
+        memo: fastpath.BuchiMemo | None = None,
+    ):
         self.max_product_states = max_product_states
+        self.use_fastpath = use_fastpath
+        self._memo = memo if memo is not None else fastpath.automata_memo()
+        self._results = (
+            fastpath.ResultCache(result_cache_size)
+            if use_fastpath and result_cache_size > 0
+            else None
+        )
+        # Memoized model fingerprints and formula keys, keyed by object
+        # identity; the stored strong reference keeps an id from being reused
+        # while its entry lives.  Rendering str(formula) dominates memo-hit
+        # cost otherwise — the rule book's 15 formulas are the same objects
+        # on every verify_controller call.
+        self._model_fingerprints: dict = {}
+        self._formula_keys: dict = {}
+        self._fingerprint_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -103,19 +165,12 @@ class ModelChecker:
         tracing is enabled and is never computed otherwise.
         """
         formula = parse_ltl(specification) if isinstance(specification, str) else specification
-        spec_label = name if name is not None else (str(formula) if obs.tracing_enabled() else "")
-        with obs.span("mc.construct", category="modelcheck", spec=spec_label):
-            negated_automaton = ltl_to_buchi(Not(formula), name=f"neg({formula})")
-        lasso, stats = self._find_accepting_lasso(kripke, negated_automaton, spec_label=spec_label)
-        if lasso is None:
-            return VerificationResult(formula, True, None, stats)
-        prefix_states, cycle_states = lasso
-        counterexample = make_counterexample(
-            [s for s, _ in prefix_states],
-            [s for s, _ in cycle_states],
-            kripke.label,
-        )
-        return VerificationResult(formula, False, counterexample, stats)
+        spec_label = self._spec_label(formula, name)
+        if not self.use_fastpath:
+            return self._check_naive(kripke, formula, spec_label)
+        kripke.validate()
+        compiled = fastpath.compile_kripke(kripke)
+        return self._check_compiled(lambda: compiled, formula, spec_label, None)
 
     def check_all(
         self, kripke: KripkeStructure, specifications: Iterable, *, spec_names: Iterable | None = None
@@ -124,12 +179,17 @@ class ModelChecker:
 
         ``spec_names`` optionally supplies one trace label per specification
         (same order); unnamed specs are labelled by their formula text when
-        tracing is enabled.
+        tracing is enabled.  The fast path compiles the structure to integers
+        once and reuses it for every specification in the batch.
         """
         specs = list(specifications)
         names = list(spec_names) if spec_names is not None else [None] * len(specs)
-        results = tuple(self.check(kripke, spec, name=name) for spec, name in zip(specs, names))
-        return VerificationReport(results)
+        if not self.use_fastpath:
+            results = tuple(self.check(kripke, spec, name=name) for spec, name in zip(specs, names))
+            return VerificationReport(results)
+        kripke.validate()
+        compiled = fastpath.compile_kripke(kripke)
+        return self._report_for(lambda: compiled, specs, names, None)
 
     def verify_controller(
         self,
@@ -146,14 +206,271 @@ class ModelChecker:
         the controller's final step (the paper's SMV default case); see
         :func:`repro.automata.product.build_product`.  ``spec_names``
         optionally labels each specification's trace spans.
+
+        On the fast path the product is compiled directly into integer space
+        (never materializing the intermediate Kripke structure), results are
+        cached under the (model, controller, restart, spec) fingerprint, and —
+        when every specification hits that cache — the product is not rebuilt
+        at all.
         """
-        with obs.span(
-            "mc.build_model", category="modelcheck", controller=controller.name
-        ):
+        specs = list(specifications)
+        names = list(spec_names) if spec_names is not None else [None] * len(specs)
+        if not self.use_fastpath:
+            with obs.span(
+                "mc.build_model", category="modelcheck", controller=controller.name
+            ):
+                product = build_product(
+                    model, controller, restart_on_termination=restart_on_termination
+                )
+            return self.check_all(product, specs, spec_names=names)
+
+        scope = None
+        if self._results is not None:
+            scope = (
+                self._model_fingerprint(model),
+                fastpath.controller_fingerprint(controller),
+                restart_on_termination,
+            )
+
+        compiled_box: list = []
+
+        def compiled():
+            if not compiled_box:
+                with obs.span(
+                    "mc.build_model", category="modelcheck", controller=controller.name
+                ):
+                    compiled_box.append(
+                        fastpath.compile_product(
+                            model, controller, restart_on_termination=restart_on_termination
+                        )
+                    )
+            return compiled_box[0]
+
+        return self._report_for(compiled, specs, names, scope)
+
+    def check_at_least(
+        self,
+        kripke: KripkeStructure,
+        specifications: Iterable,
+        threshold: int,
+        *,
+        spec_names: Iterable | None = None,
+    ) -> bool:
+        """Early-exit batch check: do at least ``threshold`` specs hold?
+
+        Stops as soon as the answer is decided — after enough satisfied specs,
+        or once the remaining specs cannot reach the threshold — so callers
+        that only need score *ordering* (is this response at least as good as
+        that one?) skip the tail of the rule book.  Exact counts require
+        :meth:`check_all`.
+        """
+        specs = list(specifications)
+        names = list(spec_names) if spec_names is not None else [None] * len(specs)
+        if self.use_fastpath:
+            kripke.validate()
+            compiled = fastpath.compile_kripke(kripke)
+            check_one = lambda spec, label: self._check_compiled(  # noqa: E731
+                lambda: compiled, spec, label, None
+            )
+        else:
+            check_one = lambda spec, label: self._check_naive(kripke, spec, label)  # noqa: E731
+        return self._count_at_least(check_one, specs, names, threshold)
+
+    def verify_controller_at_least(
+        self,
+        model: TransitionSystem,
+        controller: FSAController,
+        specifications: Iterable,
+        threshold: int,
+        *,
+        restart_on_termination: bool = True,
+        spec_names: Iterable | None = None,
+    ) -> bool:
+        """Early-exit :meth:`verify_controller`: at least ``threshold`` specs?
+
+        The ordering-only mode of the ROADMAP's hot-path item: rankers
+        comparing two responses need "is one score ≥ k", not the exact count,
+        and this stops verifying as soon as that is decided.  Verified specs
+        still populate the result cache, so a later exact
+        :meth:`verify_controller` pays only for the skipped tail.
+        """
+        specs = list(specifications)
+        names = list(spec_names) if spec_names is not None else [None] * len(specs)
+        if not self.use_fastpath:
             product = build_product(
                 model, controller, restart_on_termination=restart_on_termination
             )
-        return self.check_all(product, specifications, spec_names=spec_names)
+            check_one = lambda spec, label: self._check_naive(product, spec, label)  # noqa: E731
+            return self._count_at_least(check_one, specs, names, threshold)
+
+        scope = None
+        if self._results is not None:
+            scope = (
+                self._model_fingerprint(model),
+                fastpath.controller_fingerprint(controller),
+                restart_on_termination,
+            )
+        compiled_box: list = []
+
+        def compiled():
+            if not compiled_box:
+                with obs.span(
+                    "mc.build_model", category="modelcheck", controller=controller.name
+                ):
+                    compiled_box.append(
+                        fastpath.compile_product(
+                            model, controller, restart_on_termination=restart_on_termination
+                        )
+                    )
+            return compiled_box[0]
+
+        check_one = lambda spec, label: self._check_compiled(compiled, spec, label, scope)  # noqa: E731
+        return self._count_at_least(check_one, specs, names, threshold)
+
+    # ------------------------------------------------------------------ #
+    # Fast path internals
+    # ------------------------------------------------------------------ #
+    def _spec_label(self, formula: Formula, name: str | None) -> str:
+        return name if name is not None else (str(formula) if obs.tracing_enabled() else "")
+
+    def _report_for(self, compiled, specs, names, scope) -> VerificationReport:
+        results = []
+        for spec, name in zip(specs, names):
+            formula = parse_ltl(spec) if isinstance(spec, str) else spec
+            results.append(
+                self._check_compiled(compiled, formula, self._spec_label(formula, name), scope)
+            )
+        return VerificationReport(tuple(results))
+
+    def _count_at_least(self, check_one, specs, names, threshold: int) -> bool:
+        satisfied = 0
+        for i, (spec, name) in enumerate(zip(specs, names)):
+            if satisfied >= threshold:
+                return True
+            if satisfied + (len(specs) - i) < threshold:
+                return False
+            formula = parse_ltl(spec) if isinstance(spec, str) else spec
+            if check_one(formula, self._spec_label(formula, name)).holds:
+                satisfied += 1
+        return satisfied >= threshold
+
+    def _formula_entry(self, formula: Formula) -> tuple:
+        """``(negated, memo_key, spec_key)`` for a formula, interned by identity."""
+        with self._fingerprint_lock:
+            entry = self._formula_keys.get(id(formula))
+            if entry is not None and entry[0] is formula:
+                return entry[1]
+        negated = Not(formula)
+        keys = (negated, formula_key(negated), formula_key(formula))
+        with self._fingerprint_lock:
+            self._formula_keys[id(formula)] = (formula, keys)
+        return keys
+
+    def _check_compiled(self, compiled, formula, spec_label, scope) -> VerificationResult:
+        """One fast-path check; ``compiled`` is a thunk so full cache hits skip it."""
+        spec_key = self._formula_entry(formula)[2]
+        if scope is not None:
+            hit = self._results.get(scope + (spec_key,))
+            if hit is not None:
+                with obs.span("mc.check_cached", category="modelcheck", spec=spec_label):
+                    pass
+                self._emit_cache_counters()
+                return hit
+        automaton = self._construct_automaton(formula, spec_label)
+        structure = compiled()
+        if automaton.is_empty:
+            # ¬Φ has an empty language, so no behaviour can violate Φ: the
+            # product would be empty and the spec holds for any structure.
+            result = VerificationResult(
+                formula,
+                True,
+                None,
+                {"product_states": 0, "nba_states": 0, "kripke_states": structure.num_states},
+            )
+        else:
+            lasso, stats = fastpath.find_accepting_lasso(
+                structure,
+                automaton,
+                spec_label=spec_label,
+                max_product_states=self.max_product_states,
+            )
+            if lasso is None:
+                result = VerificationResult(formula, True, None, stats)
+            else:
+                prefix_states, cycle_states = lasso
+                result = VerificationResult(
+                    formula,
+                    False,
+                    make_counterexample(prefix_states, cycle_states, structure.label_of),
+                    stats,
+                )
+        if scope is not None:
+            self._results.put(scope + (spec_key,), result)
+        return result
+
+    def _construct_automaton(self, formula: Formula, spec_label: str):
+        """The memoized pruned NBA for ``¬formula``, with distinct hit/miss spans."""
+        negated, key, _ = self._formula_entry(formula)
+        memo = self._memo
+        cached = memo.lookup(key)
+        if cached is not None:
+            with obs.span(
+                "mc.construct_cached", category="modelcheck", spec=spec_label, source="memory"
+            ):
+                pass
+            self._emit_memo_counters()
+            return cached
+        if memo.has_persisted(key):
+            with obs.span(
+                "mc.construct_cached", category="modelcheck", spec=spec_label, source="disk"
+            ):
+                cached = memo.load_persisted(key)
+            if cached is not None:
+                self._emit_memo_counters()
+                return cached
+        with obs.span("mc.construct", category="modelcheck", spec=spec_label):
+            cached = memo.translate_and_store(key, negated, name=f"neg({formula})")
+        self._emit_memo_counters()
+        return cached
+
+    def _emit_memo_counters(self) -> None:
+        if obs.tracing_enabled():
+            stats = self._memo.stats()
+            obs.counter("mc.memo.hits", stats["hits_memory"] + stats["hits_disk"])
+            obs.counter("mc.memo.misses", stats["misses"])
+
+    def _emit_cache_counters(self) -> None:
+        if obs.tracing_enabled() and self._results is not None:
+            stats = self._results.stats()
+            obs.counter("mc.result_cache.hits", stats["hits"])
+            obs.counter("mc.result_cache.misses", stats["misses"])
+
+    def _model_fingerprint(self, model: TransitionSystem) -> str:
+        with self._fingerprint_lock:
+            entry = self._model_fingerprints.get(id(model))
+            if entry is not None and entry[0] is model:
+                return entry[1]
+        digest = fastpath.model_fingerprint(model)
+        with self._fingerprint_lock:
+            self._model_fingerprints[id(model)] = (model, digest)
+        return digest
+
+    # ------------------------------------------------------------------ #
+    # Naive path (the frozen differential-testing reference)
+    # ------------------------------------------------------------------ #
+    def _check_naive(self, kripke: KripkeStructure, formula: Formula, spec_label: str) -> VerificationResult:
+        with obs.span("mc.construct", category="modelcheck", spec=spec_label):
+            negated_automaton = ltl_to_buchi(Not(formula), name=f"neg({formula})")
+        lasso, stats = self._find_accepting_lasso(kripke, negated_automaton, spec_label=spec_label)
+        if lasso is None:
+            return VerificationResult(formula, True, None, stats)
+        prefix_states, cycle_states = lasso
+        counterexample = make_counterexample(
+            [s for s, _ in prefix_states],
+            [s for s, _ in cycle_states],
+            kripke.label,
+        )
+        return VerificationResult(formula, False, counterexample, stats)
 
     # ------------------------------------------------------------------ #
     # Emptiness check of KS × NBA
@@ -273,6 +590,19 @@ class ModelChecker:
         while parents[path[-1]] is not None:
             path.append(parents[path[-1]])
         return list(reversed(path))
+
+
+class NaiveModelChecker(ModelChecker):
+    """The unoptimized reference checker: no memo, no pruning, no caches.
+
+    Exactly the pre-fastpath algorithm (``ModelChecker(use_fastpath=False)``),
+    named so the differential suite — and anyone debugging a suspected
+    fast-path divergence — can reach for it explicitly.  Every optimization
+    in :mod:`repro.modelcheck.fastpath` is held to this checker's verdicts.
+    """
+
+    def __init__(self, max_product_states: int = 200_000):
+        super().__init__(max_product_states, use_fastpath=False, result_cache_size=0)
 
 
 def verify_controller_against_specs(

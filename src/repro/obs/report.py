@@ -19,8 +19,17 @@ verification hot path actually wants:
 
 from __future__ import annotations
 
-#: Span names the model checker emits, in reporting order.
-MODELCHECK_PHASES = ("mc.construct", "mc.product", "mc.check")
+#: Span names the model checker emits, in reporting order.  The ``_cached``
+#: variants mark construction-memo and result-cache hits — near-zero-duration
+#: spans whose *count* is the interesting signal (they would misattribute
+#: time if folded into their uncached twins).
+MODELCHECK_PHASES = (
+    "mc.construct",
+    "mc.construct_cached",
+    "mc.product",
+    "mc.check",
+    "mc.check_cached",
+)
 
 
 def stage_breakdown(spans) -> dict:
@@ -43,15 +52,18 @@ def stage_breakdown(spans) -> dict:
 def per_spec_profile(spans) -> dict:
     """Aggregate model-checker spans by specification.
 
-    Every ``mc.construct`` / ``mc.product`` / ``mc.check`` span carries a
-    ``spec`` attribute naming the specification it served (workers included —
-    their spans arrive via shard merge).  Returns::
+    Every ``mc.*`` phase span (:data:`MODELCHECK_PHASES`) carries a ``spec``
+    attribute naming the specification it served (workers included — their
+    spans arrive via shard merge).  Returns::
 
-        {spec_name: {"construct": s, "product": s, "check": s,
-                     "total": s, "checks": n}}
+        {spec_name: {"construct": s, "construct_cached": s, "product": s,
+                     "check": s, "check_cached": s, "total": s,
+                     "checks": n, "cache_hits": n}}
 
     where ``checks`` counts completed emptiness checks (one per controller ×
-    spec verification).
+    spec verification) and ``cache_hits`` counts checks answered from the
+    construction memo or the verification-result cache
+    (``mc.construct_cached`` + ``mc.check_cached`` spans).
     """
     profile: dict = {}
     for span in spans:
@@ -61,12 +73,26 @@ def per_spec_profile(spans) -> dict:
         if spec is None:
             continue
         entry = profile.setdefault(
-            spec, {"construct": 0.0, "product": 0.0, "check": 0.0, "total": 0.0, "checks": 0}
+            spec,
+            {
+                "construct": 0.0,
+                "construct_cached": 0.0,
+                "product": 0.0,
+                "check": 0.0,
+                "check_cached": 0.0,
+                "total": 0.0,
+                "checks": 0,
+                "cache_hits": 0,
+            },
         )
         phase = span.name.split(".", 1)[1]
         entry[phase] += span.duration_seconds
         entry["total"] += span.duration_seconds
         if span.name == "mc.check":
+            entry["checks"] += 1
+        elif span.name in ("mc.construct_cached", "mc.check_cached"):
+            entry["cache_hits"] += 1
+        if span.name == "mc.check_cached":
             entry["checks"] += 1
     return profile
 
@@ -140,13 +166,21 @@ def format_report(spans, *, metrics: dict | None = None, counter_samples=(), top
     profile = per_spec_profile(spans)
     if profile:
         rows = [
-            (name, entry["checks"], entry["construct"], entry["product"], entry["check"], entry["total"])
+            (
+                name,
+                entry["checks"],
+                entry["cache_hits"],
+                entry["construct"],
+                entry["product"],
+                entry["check"],
+                entry["total"],
+            )
             for name, entry in hottest_specs(profile, top)
         ]
         lines.append("")
         lines += _format_table(
             f"hottest specs (top {min(top, len(profile))} of {len(profile)})",
-            ("spec", "checks", "construct_s", "product_s", "check_s", "total_s"),
+            ("spec", "checks", "cached", "construct_s", "product_s", "check_s", "total_s"),
             rows,
         )
 

@@ -82,6 +82,15 @@ class ServingConfig:
         later one) degrades to the serial reference loop.  ``0`` (default)
         keeps the historical degrade-on-first-failure behavior.  Scores are
         identical either way; only the parallelism is at stake.
+    automata_cache_dir:
+        Optional directory for the Büchi construction memo's persisted shard
+        (:func:`repro.modelcheck.fastpath.configure_automata_cache`).  The
+        service configures the process-wide memo at startup and threads the
+        directory through :class:`~repro.serving.backends.WorkerPayload`, so
+        freshly forked process-backend workers load the rule book's pruned
+        automata from disk instead of re-translating LTL on every init.
+        Distinct from ``shared_cache_dir`` (which caches *scores*); this
+        caches the automata themselves, keyed on canonical formula text.
     """
 
     enabled: bool = True
@@ -95,6 +104,7 @@ class ServingConfig:
     max_inflight_batches: int | None = None
     max_inflight_jobs: int | None = None
     worker_retries: int = 0
+    automata_cache_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:

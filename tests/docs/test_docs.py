@@ -104,6 +104,30 @@ class TestDocumentationFiles:
         readme = (REPO_ROOT / "README.md").read_text()
         assert "docs/jobs.md" in readme, "README.md no longer links the jobs guide"
 
+    def test_modelcheck_guide_exists(self):
+        guide = REPO_ROOT / "docs" / "modelcheck.md"
+        assert guide.is_file(), "docs/modelcheck.md is missing"
+        text = guide.read_text()
+        for needle in (
+            "accepting lasso",          # the emptiness algorithm is explained
+            "BuchiMemo",
+            "formula_key",              # memo keying
+            "prune_automaton",
+            "Soundness argument",       # the pruning soundness section survives
+            "automata_cache_dir",       # cache dir layout + wiring
+            "FASTPATH_SCHEMA_VERSION",
+            "NaiveModelChecker",
+            "mc.construct_cached",      # honest span attribution is documented
+            "verify_controller_at_least",  # the early-exit mode
+            "satisfaction_ratio",       # the vacuous-true decision is recorded
+            "test_differential",
+            "slow",                     # the fuzz marker is documented
+            "make bench-modelcheck",
+        ):
+            assert needle in text, f"docs/modelcheck.md no longer documents {needle!r}"
+        readme = (REPO_ROOT / "README.md").read_text()
+        assert "docs/modelcheck.md" in readme, "README.md no longer links the modelcheck guide"
+
     def test_observability_guide_exists(self):
         guide = REPO_ROOT / "docs" / "observability.md"
         assert guide.is_file(), "docs/observability.md is missing"
@@ -304,6 +328,32 @@ class TestPublicApiDocstrings:
         ]
         assert not undocumented, f"repro.feedback.ranker symbols missing docstrings: {undocumented}"
 
+    def test_every_public_modelcheck_symbol_has_a_docstring(self):
+        import repro.modelcheck as modelcheck
+
+        undocumented = [
+            name
+            for name, obj in _public_symbols(modelcheck)
+            if not (obj.__doc__ or "").strip()
+        ]
+        assert not undocumented, f"repro.modelcheck symbols missing docstrings: {undocumented}"
+
+    def test_modelcheck_public_methods_are_documented(self):
+        from repro.modelcheck import BuchiMemo, CachedAutomaton, ModelChecker, ResultCache
+
+        for cls in (ModelChecker, BuchiMemo, CachedAutomaton, ResultCache):
+            undocumented = [
+                f"{cls.__name__}.{name}"
+                for name, member in vars(cls).items()
+                if not name.startswith("_")
+                and (inspect.isfunction(member) or isinstance(member, property))
+                and not (
+                    (member.fget.__doc__ if isinstance(member, property) else member.__doc__)
+                    or ""
+                ).strip()
+            ]
+            assert not undocumented, f"undocumented public methods: {undocumented}"
+
     def test_module_docstrings_present(self):
         import repro.analysis
         import repro.analysis.cli
@@ -320,6 +370,9 @@ class TestPublicApiDocstrings:
         import repro.serving.scheduler
         import repro.feedback.ranker
         import repro.dpo.stream
+        import repro.modelcheck
+        import repro.modelcheck.checker
+        import repro.modelcheck.fastpath
         import repro.obs
         import repro.obs.cli
         import repro.obs.export
@@ -362,6 +415,9 @@ class TestPublicApiDocstrings:
             repro.serving.scheduler,
             repro.feedback.ranker,
             repro.dpo.stream,
+            repro.modelcheck,
+            repro.modelcheck.checker,
+            repro.modelcheck.fastpath,
             repro.obs,
             repro.obs.cli,
             repro.obs.export,

@@ -1,0 +1,86 @@
+"""Span-protocol tests for the model checker's cached construction path.
+
+The fast path must attribute work honestly: an actual LTL→Büchi translation
+emits ``mc.construct``; answering from the construction memo emits
+``mc.construct_cached`` (never a second ``mc.construct``, which would
+misattribute translation time in the trace report); a verification-result
+cache hit emits ``mc.check_cached``.
+"""
+
+from repro.automata import KripkeStructure
+from repro.driving import response_templates, task_by_name
+from repro.glm2fsa.builder import build_controller_from_text
+from repro.logic import parse_ltl
+from repro.modelcheck import ModelChecker
+from repro.modelcheck.fastpath import BuchiMemo
+from repro.obs import tracer as obs
+from repro.obs.report import per_spec_profile
+from repro.obs.tracer import Tracer
+
+
+def simple_kripke():
+    kripke = KripkeStructure(name="k")
+    kripke.add_state(0, frozenset({"a"}), initial=True)
+    kripke.add_transition(0, 0)
+    return kripke
+
+
+class TestConstructSpans:
+    def test_memo_hit_emits_construct_cached_not_construct(self):
+        tracer = obs.install_tracer(Tracer())
+        checker = ModelChecker(memo=BuchiMemo())
+        kripke = simple_kripke()
+        formula = parse_ltl("G a")
+        checker.check(kripke, formula, name="phi")
+        checker.check(kripke, formula, name="phi")
+        names = [s.name for s in tracer.spans()]
+        assert names.count("mc.construct") == 1
+        assert names.count("mc.construct_cached") == 1
+        cached_span = next(s for s in tracer.spans() if s.name == "mc.construct_cached")
+        assert cached_span.attributes["spec"] == "phi"
+        assert cached_span.attributes["source"] == "memory"
+
+    def test_disk_hit_is_attributed_to_its_source(self, tmp_path):
+        formula = parse_ltl("G (a -> F b)")
+        writer = BuchiMemo()
+        writer.configure_directory(tmp_path)
+        ModelChecker(memo=writer).check(simple_kripke(), formula)
+
+        reader = BuchiMemo()
+        reader.configure_directory(tmp_path)
+        tracer = obs.install_tracer(Tracer())
+        ModelChecker(memo=reader).check(simple_kripke(), formula, name="phi")
+        cached = [s for s in tracer.spans() if s.name == "mc.construct_cached"]
+        assert len(cached) == 1
+        assert cached[0].attributes["source"] == "disk"
+        assert not any(s.name == "mc.construct" for s in tracer.spans())
+
+    def test_result_cache_hit_emits_check_cached(self):
+        task = task_by_name("turn_left_unprotected")
+        model = task.model()
+        controller = build_controller_from_text(
+            response_templates(task.name, "compliant")[0], task=task.name
+        )
+        tracer = obs.install_tracer(Tracer())
+        checker = ModelChecker(memo=BuchiMemo())
+        specs = [parse_ltl("G (ped -> F stop)")]
+        checker.verify_controller(model, controller, specs, spec_names=["phi"])
+        checker.verify_controller(model, controller, specs, spec_names=["phi"])
+        names = [s.name for s in tracer.spans()]
+        assert names.count("mc.check") == 1
+        assert names.count("mc.check_cached") == 1
+        # The cached pass never rebuilds the product.
+        assert names.count("mc.build_model") == 1
+
+    def test_profile_counts_cache_hits_and_cached_checks(self):
+        tracer = obs.install_tracer(Tracer())
+        checker = ModelChecker(memo=BuchiMemo())
+        kripke = simple_kripke()
+        formula = parse_ltl("G a")
+        checker.check(kripke, formula, name="phi")
+        checker.check(kripke, formula, name="phi")
+        profile = per_spec_profile(tracer.spans())
+        entry = profile["phi"]
+        assert entry["checks"] == 2
+        assert entry["cache_hits"] == 1
+        assert entry["construct_cached"] >= 0.0
