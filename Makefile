@@ -13,6 +13,10 @@
 #   make bench-modelcheck cold verification throughput: optimized checker vs
 #                         the naive reference; asserts the >= 5x floor and
 #                         verdict equality (see docs/modelcheck.md)
+#   make bench-lm         LM decoding tokens/s (serial vs KV-cached vs
+#                         batched; asserts the >= 3x floor on bitwise-
+#                         identical sampled tokens) + DPO pairs/s, written
+#                         to runs/bench_lm.json (see docs/lm.md)
 #   make trace-demo       traced quick-pipeline run -> runs/quick.trace.json
 #                         (load it in https://ui.perfetto.dev) plus the
 #                         terminal report (hottest specs, stage breakdown)
@@ -25,7 +29,7 @@ PYTHON ?= python
 PYTEST := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) $(PYTHON) -m pytest
 PYRUN := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) $(PYTHON)
 
-.PHONY: tier1 lint bench bench-multicore bench-modelcheck trace-demo jobs-demo
+.PHONY: tier1 lint bench bench-multicore bench-modelcheck bench-lm trace-demo jobs-demo
 
 lint:
 	$(PYRUN) -m repro.analysis.cli src/repro
@@ -41,6 +45,9 @@ bench-multicore:
 
 bench-modelcheck:
 	$(PYTEST) benchmarks/test_bench_modelcheck.py -q -s
+
+bench-lm:
+	$(PYTEST) benchmarks/test_bench_lm.py -q -s
 
 trace-demo:
 	$(PYRUN) examples/trace_demo.py runs/quick.trace.json

@@ -52,6 +52,14 @@ class PipelineConfig:
     end of :meth:`~repro.core.pipeline.DPOAFPipeline.run`, summarisable with
     ``repro-trace report``.  ``None`` (the default) keeps tracing off, with
     results bitwise-identical to a traced run.
+
+    ``batched_sampling`` (default on) decodes each sampling frontier — the
+    m responses × N tasks of pair collection, and every task of a model
+    evaluation — as one KV-cached batched wave
+    (:func:`repro.lm.decode.sample_response_frontier`) instead of one serial
+    ``sample_responses`` call per task.  Both paths spawn identical per-lane
+    RNG streams, so sampled text — and therefore every downstream artifact —
+    is bitwise-identical either way, on every serving backend.
     """
 
     pretrain: PretrainConfig = field(default_factory=PretrainConfig)
@@ -66,6 +74,7 @@ class PipelineConfig:
     stream_pairs_path: str | None = None
     stream_buffer_pairs: int = 4096
     trace_path: str | None = None
+    batched_sampling: bool = True
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.stream_warmup_fraction <= 1.0:

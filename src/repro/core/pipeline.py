@@ -4,7 +4,11 @@ The pipeline wires every substrate together:
 
 1. build the synthetic corpus and *pre-train* the numpy language model
    (standing in for the already-trained Llama2-7B);
-2. for each training task, *sample* ``m`` responses from the model;
+2. for each training task, *sample* ``m`` responses from the model — by
+   default the whole m×N frontier decodes as one KV-cached batched wave
+   (:func:`repro.lm.decode.sample_response_frontier`;
+   ``PipelineConfig.batched_sampling`` falls back to the serial per-task
+   loop, with bitwise-identical text either way);
 3. construct a controller from every response (GLM2FSA) and compute
    *automated feedback* — formal verification against the task's world model,
    or empirical evaluation in the simulator; all scoring routes through the
@@ -59,6 +63,7 @@ from repro.errors import TrainingError
 from repro.feedback.formal import FormalVerifier
 from repro.feedback.ranker import rank_to_pairs
 from repro.lm.corpus import build_corpus, format_prompt
+from repro.lm.decode import sample_response_frontier
 from repro.lm.pretrain import PretrainResult, pretrain
 from repro.lm.sampling import sample_responses
 from repro.lm.tokenizer import Tokenizer
@@ -256,14 +261,35 @@ class DPOAFPipeline:
         """Sample every training task and submit its batch for verification.
 
         Returns ``(task, prompt, responses, PendingBatch)`` tuples in task
-        order.  Submission is asynchronous: task *k* verifies on the
-        pipeline's dispatcher while task *k+1* samples here, and a configured
+        order.  Submission is asynchronous: verification runs on the
+        pipeline's dispatcher while sampling continues here, and a configured
         in-flight bound blocks the sampling loop (back-pressure) rather than
         queueing unbounded batches.
+
+        With ``batched_sampling`` (the default) the whole m×N frontier decodes
+        as one KV-cached wave before the batches are submitted in task order;
+        the serial fallback samples task by task, overlapping task *k*'s
+        verification with task *k+1*'s sampling.  Both arms consume the same
+        per-lane RNG spawn sequence from ``rng``, so the sampled text — and
+        every downstream score and pair — is bitwise-identical.
         """
         pending = []
-        for task in self.tasks:
-            prompt = format_prompt(task)
+        prompts = [format_prompt(task) for task in self.tasks]
+        if self.config.batched_sampling:
+            frontier = sample_response_frontier(
+                model,
+                tokenizer,
+                prompts,
+                [sampling.responses_per_prompt] * len(prompts),
+                temperature=sampling.temperature,
+                top_k=sampling.top_k,
+                max_new_tokens=sampling.max_new_tokens,
+                rng=rng,
+            )
+            for task, prompt, responses in zip(self.tasks, prompts, frontier):
+                pending.append((task, prompt, responses, self.serving.submit_responses(task, responses)))
+            return pending
+        for task, prompt in zip(self.tasks, prompts):
             responses = sample_responses(
                 model,
                 tokenizer,
@@ -371,25 +397,43 @@ class DPOAFPipeline:
         ``num_samples`` falls back to the sampling config only when omitted —
         an explicit 0 means "sample nothing" (``is None`` check, not
         truthiness), which evaluates every task to an empty count list.
+
+        Like pair collection, the evaluation frontier decodes as one batched
+        wave under ``batched_sampling`` and task-by-task otherwise, with
+        bitwise-identical responses either way.
         """
         tasks = list(tasks) if tasks is not None else list(self.tasks) + list(self.validation)
         if num_samples is None:
             num_samples = self.config.sampling.responses_per_prompt
         rng = seeded_rng(seed)
         pending = []
-        for task in tasks:
-            prompt = format_prompt(task)
-            responses = sample_responses(
+        prompts = [format_prompt(task) for task in tasks]
+        if self.config.batched_sampling:
+            frontier = sample_response_frontier(
                 model,
                 tokenizer,
-                prompt,
-                num_samples,
+                prompts,
+                [num_samples] * len(prompts),
                 temperature=self.config.sampling.temperature,
                 top_k=self.config.sampling.top_k,
                 max_new_tokens=self.config.sampling.max_new_tokens,
-                seed=rng,
+                rng=rng,
             )
-            pending.append((task, self.serving.submit_responses(task, responses)))
+            for task, responses in zip(tasks, frontier):
+                pending.append((task, self.serving.submit_responses(task, responses)))
+        else:
+            for task, prompt in zip(tasks, prompts):
+                responses = sample_responses(
+                    model,
+                    tokenizer,
+                    prompt,
+                    num_samples,
+                    temperature=self.config.sampling.temperature,
+                    top_k=self.config.sampling.top_k,
+                    max_new_tokens=self.config.sampling.max_new_tokens,
+                    seed=rng,
+                )
+                pending.append((task, self.serving.submit_responses(task, responses)))
         # Consume in completion order, report in task order — same streaming
         # discipline as pair construction.
         def build(metadata, counts):

@@ -9,7 +9,7 @@ the slowest task has verified.
 """
 
 from repro.dpo.dataset import DPODataset, EncodedPair, encode_preference_pair
-from repro.dpo.loss import DPOBatchMetrics, dpo_step, sigmoid
+from repro.dpo.loss import DPOBatchMetrics, dpo_step, sigmoid, stack_pair_batch
 from repro.dpo.metrics import MultiSeedCurves, TrainingHistory
 from repro.dpo.stream import (
     DatasetHandle,
@@ -29,6 +29,7 @@ __all__ = [
     "DPOBatchMetrics",
     "dpo_step",
     "sigmoid",
+    "stack_pair_batch",
     "MultiSeedCurves",
     "TrainingHistory",
     "DatasetHandle",

@@ -12,6 +12,15 @@ The three reported metrics follow Section 5.2 of the paper:
   likelihood than the rejected one, ``I(P(y_w|x,θ) > P(y_l|x,θ))``,
 * **marginal preference** — the mean of the bracketed margin (0 = indifferent,
   positive = prefers the chosen response more than the reference model does).
+
+:func:`dpo_step` runs **fused** by default: chosen and rejected sequences are
+stacked into one ``(2B, T)`` batch per model, so a step costs one policy
+forward+backward and one reference forward instead of four policy passes and
+two reference passes.  Stacking is loss- and gradient-exact: the response mask
+zeroes every padded target position, and with zero ``dlogits`` there the pad
+rows contribute nothing to any parameter gradient (summation order over the
+doubled batch may differ in the last float bit from the unfused path, which is
+why fused-vs-unfused tests compare with ``allclose`` rather than ``==``).
 """
 
 from __future__ import annotations
@@ -54,6 +63,31 @@ class DPOBatchMetrics:
         }
 
 
+def stack_pair_batch(batch: dict) -> tuple:
+    """Stack a preference batch's chosen and rejected halves into one batch.
+
+    Returns ``(tokens, mask)`` of shapes ``(2B, T)`` / ``(2B, T - 1)`` with the
+    ``B`` chosen rows first.  Both halves are right-padded to the common
+    length with token id 0 (the tokenizer's PAD) and mask 0 — the pad value is
+    arbitrary for correctness because masked target positions carry zero loss
+    *and* zero gradient, but 0 keeps the arrays identical to what the dataset
+    padder would have produced at the wider length.
+    """
+    chosen_tokens, chosen_mask = batch["chosen_tokens"], batch["chosen_mask"]
+    rejected_tokens, rejected_mask = batch["rejected_tokens"], batch["rejected_mask"]
+    width = max(chosen_tokens.shape[1], rejected_tokens.shape[1])
+
+    def widen(array: np.ndarray, columns: int) -> np.ndarray:
+        short = columns - array.shape[1]
+        if short == 0:
+            return array
+        return np.pad(array, ((0, 0), (0, short)))
+
+    tokens = np.concatenate([widen(chosen_tokens, width), widen(rejected_tokens, width)])
+    mask = np.concatenate([widen(chosen_mask, width - 1), widen(rejected_mask, width - 1)])
+    return tokens, mask
+
+
 def dpo_step(
     policy: TransformerLM,
     reference: TransformerLM,
@@ -61,19 +95,68 @@ def dpo_step(
     *,
     beta: float = 0.5,
     backward: bool = True,
+    fused: bool = True,
 ) -> DPOBatchMetrics:
     """Compute the DPO loss for one batch and (optionally) accumulate gradients.
 
     The gradient of the loss with respect to the policy's per-sequence
     log-probability is ``-β σ(-βh)/B`` for the chosen response and the opposite
     sign for the rejected response, where ``h`` is the preference margin.
-    Because the model's layer caches are overwritten by every forward pass,
-    each branch's backward closure is invoked before the next forward runs.
+
+    With ``fused=True`` (the default) both halves run as one stacked batch per
+    model and one backward closure applies both coefficient signs at once.
+    ``fused=False`` keeps the original two-passes-per-model reference path —
+    slower, numerically equivalent — used by the equivalence tests.
     """
+    if fused:
+        return _dpo_step_fused(policy, reference, batch, beta=beta, backward=backward)
+    return _dpo_step_unfused(policy, reference, batch, beta=beta, backward=backward)
+
+
+def _dpo_step_fused(
+    policy: TransformerLM,
+    reference: TransformerLM,
+    batch: dict,
+    *,
+    beta: float,
+    backward: bool,
+) -> DPOBatchMetrics:
+    tokens, mask = stack_pair_batch(batch)
+
+    # Reference (frozen) log-probabilities — never receive gradients.
+    ref_chosen, ref_rejected = np.split(reference.sequence_log_probs(tokens, mask), 2)
+
+    if backward:
+        policy_both, backward_fn = policy.sequence_log_probs_with_grad(tokens, mask)
+    else:
+        policy_both = policy.sequence_log_probs(tokens, mask)
+        backward_fn = None
+    policy_chosen, policy_rejected = np.split(policy_both, 2)
+
+    margin = (policy_chosen - ref_chosen) - (policy_rejected - ref_rejected)
+    h = beta * margin
+    losses = -np.log(np.clip(sigmoid(h), 1e-12, None))
+    coefficient = sigmoid(-h) * beta / h.shape[0]
+
+    if backward:
+        # One pass through the model: the chosen half descends (-c), the
+        # rejected half ascends (+c), exactly the two unfused closures summed.
+        backward_fn(np.concatenate([-coefficient, coefficient]))
+
+    return _metrics(losses, margin, policy_chosen, policy_rejected)
+
+
+def _dpo_step_unfused(
+    policy: TransformerLM,
+    reference: TransformerLM,
+    batch: dict,
+    *,
+    beta: float,
+    backward: bool,
+) -> DPOBatchMetrics:
     chosen_tokens, chosen_mask = batch["chosen_tokens"], batch["chosen_mask"]
     rejected_tokens, rejected_mask = batch["rejected_tokens"], batch["rejected_mask"]
 
-    # Reference (frozen) log-probabilities — never receive gradients.
     ref_chosen = reference.sequence_log_probs(chosen_tokens, chosen_mask)
     ref_rejected = reference.sequence_log_probs(rejected_tokens, rejected_mask)
 
@@ -91,8 +174,7 @@ def dpo_step(
     margin = (policy_chosen - ref_chosen) - (policy_rejected - ref_rejected)
     h = beta * margin
     losses = -np.log(np.clip(sigmoid(h), 1e-12, None))
-    batch_size = h.shape[0]
-    coefficient = sigmoid(-h) * beta / batch_size
+    coefficient = sigmoid(-h) * beta / h.shape[0]
 
     if backward:
         # Chosen branch: caches are still valid from the forward above.
@@ -101,6 +183,10 @@ def dpo_step(
         _, rejected_backward = policy.sequence_log_probs_with_grad(rejected_tokens, rejected_mask)
         rejected_backward(coefficient)
 
+    return _metrics(losses, margin, policy_chosen, policy_rejected)
+
+
+def _metrics(losses, margin, policy_chosen, policy_rejected) -> DPOBatchMetrics:
     return DPOBatchMetrics(
         loss=float(np.mean(losses)),
         accuracy=float(np.mean(policy_chosen > policy_rejected)),

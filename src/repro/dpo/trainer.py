@@ -51,6 +51,7 @@ class _TrainState:
     """Mutable step bookkeeping threaded through one ``train`` call."""
 
     total_steps: int = 0
+    total_pairs: int = 0
     progress_every: int = 0
     stop: bool = False
 
@@ -64,6 +65,9 @@ class DPOResult:
     history: TrainingHistory
     checkpoints: dict = field(default_factory=dict)   # epoch -> state_dict
     lora_summary: dict = field(default_factory=dict)
+    # Training throughput: {"steps", "pairs", "seconds", "steps_per_second",
+    # "pairs_per_second"} — the fused-forward benchmark lane reads these.
+    throughput: dict = field(default_factory=dict)
 
     def checkpoint_epochs(self) -> list:
         return sorted(self.checkpoints)
@@ -137,6 +141,7 @@ class DPOTrainer:
         history = TrainingHistory()
         checkpoints: dict = {0: self.policy.state_dict()}
         state = _TrainState(progress_every=progress_every)
+        started = time.perf_counter()
 
         first_epoch = 1
         if handle is not None:
@@ -162,12 +167,20 @@ class DPOTrainer:
             if epoch % self.config.checkpoint_every == 0 or epoch == self.config.num_epochs:
                 checkpoints[epoch] = self.policy.state_dict()
 
+        seconds = time.perf_counter() - started
         return DPOResult(
             policy=self.policy,
             reference=self.reference,
             history=history,
             checkpoints=checkpoints,
             lora_summary=self.lora_summary,
+            throughput={
+                "steps": state.total_steps,
+                "pairs": state.total_pairs,
+                "seconds": seconds,
+                "steps_per_second": state.total_steps / seconds if seconds > 0 else 0.0,
+                "pairs_per_second": state.total_pairs / seconds if seconds > 0 else 0.0,
+            },
         )
 
     # ------------------------------------------------------------------ #
@@ -179,6 +192,7 @@ class DPOTrainer:
             grad_norm = self.optimizer.step()
         history.record(metrics, grad_norm)
         state.total_steps += 1
+        state.total_pairs += int(len(batch["indices"]))
         if state.progress_every and state.total_steps % state.progress_every == 0:  # pragma: no cover - console feedback
             print(
                 f"[dpo] epoch {epoch} step {state.total_steps} "

@@ -13,10 +13,25 @@ from repro.lm.layers import (
     gelu,
     softmax,
 )
+from repro.lm.decode import (
+    DecodeState,
+    LaneSpec,
+    LayerKV,
+    sample_response_frontier,
+    sample_responses_batched,
+    sample_tokens_batched,
+    sample_tokens_cached,
+)
 from repro.lm.lora import LoRAConfig, apply_lora, merge_lora
 from repro.lm.optim import SGD, Adam
 from repro.lm.pretrain import PretrainConfig, PretrainResult, encode_documents, pretrain
-from repro.lm.sampling import sample_response, sample_responses, sample_tokens
+from repro.lm.sampling import (
+    sample_from_logits,
+    sample_response,
+    sample_responses,
+    sample_tokens,
+    top_k_filter,
+)
 from repro.lm.tokenizer import SPECIAL_TOKENS, Tokenizer, words_of
 from repro.lm.transformer import ModelConfig, TransformerLM
 
@@ -45,9 +60,18 @@ __all__ = [
     "PretrainResult",
     "encode_documents",
     "pretrain",
+    "DecodeState",
+    "LaneSpec",
+    "LayerKV",
+    "sample_response_frontier",
+    "sample_responses_batched",
+    "sample_tokens_batched",
+    "sample_tokens_cached",
+    "sample_from_logits",
     "sample_response",
     "sample_responses",
     "sample_tokens",
+    "top_k_filter",
     "SPECIAL_TOKENS",
     "Tokenizer",
     "words_of",

@@ -12,6 +12,7 @@ nothing more.
 
 from __future__ import annotations
 
+import functools
 import math
 from dataclasses import dataclass, field
 
@@ -26,16 +27,29 @@ DTYPE = np.float32
 
 @dataclass
 class Parameter:
-    """A trainable tensor with its accumulated gradient."""
+    """A trainable tensor with its accumulated gradient.
+
+    ``version`` is a monotonic counter identifying the current contents of
+    ``value``.  Every code path that changes the value — optimizer steps,
+    ``load_state_dict``, explicit callers of :meth:`bump` — increments it, and
+    derived caches (e.g. the materialised LoRA weight in :class:`Linear`) key
+    on it to know when to recompute.  Code that mutates ``param.value`` in
+    place outside those paths must call :meth:`bump` itself.
+    """
 
     value: np.ndarray
     name: str = ""
     trainable: bool = True
     grad: np.ndarray = field(default=None, repr=False)
+    version: int = field(default=0, repr=False)
 
     def __post_init__(self) -> None:
         self.value = np.asarray(self.value, dtype=DTYPE)
         self.grad = np.zeros_like(self.value)
+
+    def bump(self) -> None:
+        """Record that ``value`` changed, invalidating version-keyed caches."""
+        self.version += 1
 
     def zero_grad(self) -> None:
         self.grad.fill(0.0)
@@ -78,6 +92,55 @@ def _xavier(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
     return rng.normal(0.0, scale, size=(fan_in, fan_out))
 
 
+@functools.lru_cache(maxsize=None)
+def causal_mask(time: int, total: int | None = None) -> np.ndarray:
+    """Read-only boolean mask hiding future positions, cached process-wide.
+
+    ``causal_mask(t)`` is the standard ``(t, t)`` strict-upper-triangular mask
+    (True = masked).  The two-argument form ``causal_mask(t, total)`` covers
+    incremental decoding, where ``t`` new queries at positions
+    ``total - t .. total - 1`` attend over ``total`` cached keys: entry
+    ``(i, j)`` is masked iff ``j > (total - t) + i``.  The returned array is
+    marked non-writeable so the cache can be shared safely across threads.
+    """
+    total = time if total is None else total
+    mask = np.triu(np.ones((time, total), dtype=bool), k=total - time + 1)
+    mask.flags.writeable = False
+    return mask
+
+
+#: Column multiple every Linear gemm is padded to.  OpenBLAS edge kernels for
+#: trailing output columns (N not a multiple of the register tile) pair their
+#: K-loop differently from the main kernel AND differently across row counts,
+#: so the same input row can produce different low-order logits bits depending
+#: on batch size.  Zero-padding the weight to a multiple-of-16 column count
+#: keeps every column on the main kernel, making rows M-stable (probed across
+#: K ∈ {16..150}, N multiples of 16, M ∈ {2..512}).
+_GEMM_COL_BLOCK = 16
+
+
+def _pad_columns(weight: np.ndarray, pad: int) -> np.ndarray:
+    padded = np.zeros((weight.shape[0], weight.shape[1] + pad), dtype=weight.dtype)
+    padded[:, : weight.shape[1]] = weight
+    return padded
+
+
+def _rowsafe_matmul(flat: np.ndarray, weight: np.ndarray) -> np.ndarray:
+    """``flat @ weight`` with bitwise-stable rows regardless of row count.
+
+    OpenBLAS dispatches single-row matmuls to gemv, whose dot-product
+    reduction order differs from the gemm kernels used for two or more rows —
+    the same row can come back with different low-order bits depending on how
+    many other rows share the call.  Rows of a gemm result are independent of
+    each other, so duplicating a lone row and slicing the first row of the
+    result pins every call to the gemm kernel.  This is what makes incremental
+    decoding (one token per step) bitwise-identical to full-context forwards.
+    """
+    if flat.shape[0] == 1:
+        return (np.concatenate([flat, flat], axis=0) @ weight)[:1]
+    return flat @ weight
+
+
 class Linear(Layer):
     """Affine map ``y = x W + b`` with optional LoRA adapters.
 
@@ -97,6 +160,11 @@ class Linear(Layer):
         self.lora_b: Parameter | None = None
         self.lora_scale: float = 0.0
         self._cache_x: np.ndarray | None = None
+        self._effective_cache: np.ndarray | None = None
+        self._effective_key: tuple | None = None
+        self._padded_cache: np.ndarray | None = None
+        self._padded_key: tuple | None = None
+        self._column_pad = (-out_features) % _GEMM_COL_BLOCK
 
     # ------------------------------------------------------------------ #
     def add_lora(self, rank: int, rng: np.random.Generator, *, alpha: float | None = None, freeze_base: bool = True) -> None:
@@ -107,6 +175,10 @@ class Linear(Layer):
         self.lora_a = Parameter(rng.normal(0.0, 0.02, size=(self.in_features, rank)), name=f"{self.name}.lora_a")
         self.lora_b = Parameter(np.zeros((rank, self.out_features)), name=f"{self.name}.lora_b")
         self.lora_scale = alpha / rank
+        self._effective_cache = None
+        self._effective_key = None
+        self._padded_cache = None
+        self._padded_key = None
         if freeze_base:
             self.weight.trainable = False
             if self.bias is not None:
@@ -117,23 +189,65 @@ class Linear(Layer):
         if self.lora_a is None or self.lora_b is None:
             return
         self.weight.value = self.weight.value + self.lora_scale * (self.lora_a.value @ self.lora_b.value)
+        self.weight.bump()
         self.lora_a = None
         self.lora_b = None
         self.lora_scale = 0.0
+        self._effective_cache = None
+        self._effective_key = None
+        self._padded_cache = None
+        self._padded_key = None
 
     @property
     def has_lora(self) -> bool:
         return self.lora_a is not None
 
     def effective_weight(self) -> np.ndarray:
+        """The weight actually applied: ``W`` or ``W + scale * A @ B``.
+
+        With LoRA attached the materialised sum is cached and keyed on the
+        three parameters' :attr:`Parameter.version` counters, so repeated
+        forwards/backwards between optimizer updates reuse one array instead
+        of re-materialising ``W + scale * A @ B`` on every call.  Treat the
+        returned array as read-only.
+        """
+        if not self.has_lora:
+            return self.weight.value
+        key = (self.weight.version, self.lora_a.version, self.lora_b.version)
+        if self._effective_cache is None or self._effective_key != key:
+            self._effective_cache = self.weight.value + self.lora_scale * (self.lora_a.value @ self.lora_b.value)
+            self._effective_key = key
+        return self._effective_cache
+
+    def _gemm_weight(self) -> np.ndarray:
+        """The forward-gemm weight: effective weight, columns padded to a
+        multiple of :data:`_GEMM_COL_BLOCK` (see its docstring for why).
+
+        The padded copy is cached behind the same version key as the LoRA
+        effective weight; without LoRA the pad is rebuilt from the live
+        ``weight.value`` each call, preserving in-place-mutation semantics.
+        """
+        if self._column_pad == 0:
+            return self.effective_weight()
         if self.has_lora:
-            return self.weight.value + self.lora_scale * (self.lora_a.value @ self.lora_b.value)
-        return self.weight.value
+            weight = self.effective_weight()
+            if self._padded_cache is None or self._padded_key != self._effective_key:
+                self._padded_cache = _pad_columns(weight, self._column_pad)
+                self._padded_key = self._effective_key
+            return self._padded_cache
+        return _pad_columns(self.weight.value, self._column_pad)
 
     # ------------------------------------------------------------------ #
     def forward(self, x: np.ndarray) -> np.ndarray:
         self._cache_x = x
-        y = x @ self.effective_weight()
+        flat = x.reshape(-1, self.in_features)
+        # One collapsed gemm over all (batch × time) rows: bitwise-identical to
+        # numpy's per-batch matmul loop (gemm rows are independent) and faster,
+        # and _rowsafe_matmul keeps single-row calls off the gemv kernel.
+        y = _rowsafe_matmul(flat, self._gemm_weight())
+        if self._column_pad:
+            y = np.ascontiguousarray(y[:, : self.out_features])
+        y = y.reshape(x.shape[:-1] + (self.out_features,))
         if self.bias is not None:
             y = y + self.bias.value
         return y
@@ -259,6 +373,50 @@ def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
     return exp / exp.sum(axis=axis, keepdims=True)
 
 
+#: Chunk width of the length-stable row reduction.  Any fixed power of two
+#: wide enough to amortise the chunk loop works; 128 covers a whole
+#: ``max_seq_len`` row in one chunk for every config this repo ships.
+_STABLE_SUM_CHUNK = 128
+
+
+def _length_stable_row_sum(exp: np.ndarray) -> np.ndarray:
+    """Sum over the last axis with bits invariant to trailing zeros.
+
+    numpy's pairwise summation changes its pairing with row length, so a row
+    summed at length ``S`` and the same row summed at length ``S + pad`` with
+    exact-zero padding can differ in the last ulp.  Incremental decoding needs
+    the opposite: an attention row computed against ``S`` cached keys must get
+    bit-for-bit the denominator the full-context forward computes over a
+    longer masked row.  Rows are therefore zero-padded to a multiple of a
+    *fixed* chunk width, pairwise-summed within each chunk (fixed width ⇒
+    fixed pairing), and the chunk sums accumulated strictly left-to-right —
+    trailing zeros then only ever append exact ``+0.0`` terms.
+    """
+    length = exp.shape[-1]
+    chunks = -(-length // _STABLE_SUM_CHUNK)
+    padded = np.zeros(exp.shape[:-1] + (chunks * _STABLE_SUM_CHUNK,), dtype=exp.dtype)
+    padded[..., :length] = exp
+    if chunks == 1:
+        return padded.sum(axis=-1, keepdims=True)
+    chunked = padded.reshape(exp.shape[:-1] + (chunks, _STABLE_SUM_CHUNK)).sum(axis=-1)
+    return np.cumsum(chunked, axis=-1)[..., -1:]
+
+
+def attention_softmax(scores: np.ndarray) -> np.ndarray:
+    """Softmax over attention score rows, stable under masked-tail length.
+
+    Identical values to :func:`softmax` (within 1 ulp) but with a
+    length-stable denominator: masked entries (``-1e30``) exponentiate to
+    exactly ``+0.0``, so a row's probabilities carry the same bits whether it
+    is computed at its own length (incremental decode), inside a longer
+    causally-masked full forward, or in any batch size.  This is what makes
+    KV-cached decoding bitwise-identical to full recompute.
+    """
+    shifted = scores - scores.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / _length_stable_row_sum(exp)
+
+
 class CausalSelfAttention(Layer):
     """Multi-head causal self-attention."""
 
@@ -289,14 +447,54 @@ class CausalSelfAttention(Layer):
         v = self._split_heads(self.w_v.forward(x))
 
         scale = 1.0 / math.sqrt(self.head_dim)
+        # A lone query row would hit the gemv kernel; duplicate it so the
+        # score/context matmuls stay on the row-stable gemm path, mirroring
+        # forward_step (see _rowsafe_matmul).
+        duplicated = time == 1
+        q_rows = np.concatenate([q, q], axis=2) if duplicated else q
         # (b, h, t, d) @ (b, h, d, s) -> (b, h, t, s); matmul dispatches to BLAS.
-        scores = (q @ k.transpose(0, 1, 3, 2)) * scale
-        causal_mask = np.triu(np.ones((time, time), dtype=bool), k=1)
-        scores = np.where(causal_mask, -1e30, scores)
-        attention = softmax(scores, axis=-1)
+        scores = (q_rows @ k.transpose(0, 1, 3, 2)) * scale
+        if not duplicated:
+            scores = np.where(causal_mask(time), -1e30, scores)
+        attention = attention_softmax(scores)
         context = attention @ v
+        if duplicated:
+            attention = attention[:, :, :1]
+            context = context[:, :, :1]
 
         self._cache = (q, k, v, attention, scale)
+        return self.w_o.forward(self._merge_heads(context))
+
+    def forward_step(self, x: np.ndarray, kv, offset: int) -> np.ndarray:
+        """Incremental forward: attend ``x``'s tokens against the KV cache.
+
+        ``x`` holds ``t_new`` tokens per lane at absolute positions
+        ``offset .. offset + t_new - 1``; their keys/values are appended to
+        ``kv`` (a :class:`repro.lm.decode.LayerKV`) in place and attention runs
+        over exactly ``offset + t_new`` cached positions — the softmax axis has
+        no padding, which keeps its reduction bitwise-identical to the
+        full-context forward.  No backward cache is written.
+        """
+        batch, t_new, _ = x.shape
+        q = self._split_heads(self.w_q.forward(x))
+        kv.k[:, :, offset:offset + t_new] = self._split_heads(self.w_k.forward(x))
+        kv.v[:, :, offset:offset + t_new] = self._split_heads(self.w_v.forward(x))
+        total = offset + t_new
+        k = kv.k[:, :, :total]
+        v = kv.v[:, :, :total]
+
+        scale = 1.0 / math.sqrt(self.head_dim)
+        # Duplicate a lone query row so the score/context matmuls stay on the
+        # row-stable gemm kernels (see _rowsafe_matmul).
+        duplicated = t_new == 1
+        if duplicated:
+            q = np.concatenate([q, q], axis=2)
+        scores = (q @ k.transpose(0, 1, 3, 2)) * scale
+        if t_new > 1:
+            scores = np.where(causal_mask(t_new, total), -1e30, scores)
+        context = attention_softmax(scores) @ v
+        if duplicated:
+            context = context[:, :, :1]
         return self.w_o.forward(self._merge_heads(context))
 
     def backward(self, dout: np.ndarray) -> np.ndarray:
@@ -330,6 +528,16 @@ class TransformerBlock(Layer):
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         x = x + self.attention.forward(self.ln_1.forward(x))
+        x = x + self.mlp.forward(self.ln_2.forward(x))
+        return x
+
+    def forward_step(self, x: np.ndarray, kv, offset: int) -> np.ndarray:
+        """Incremental forward against a :class:`repro.lm.decode.LayerKV` cache.
+
+        LayerNorm and the MLP are position-wise, so only attention needs the
+        cache; both normalisations see exactly the rows being decoded.
+        """
+        x = x + self.attention.forward_step(self.ln_1.forward(x), kv, offset)
         x = x + self.mlp.forward(self.ln_2.forward(x))
         return x
 

@@ -79,6 +79,7 @@ class Adam:
             m_hat = self._m[i] / bias1
             v_hat = self._v[i] / bias2
             param.value -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.eps)
+            param.bump()
         return norm
 
 
@@ -101,3 +102,4 @@ class SGD:
                 continue
             self._velocity[i] = self.momentum * self._velocity[i] - self.learning_rate * param.grad
             param.value += self._velocity[i]
+            param.bump()

@@ -71,6 +71,45 @@ class TransformerLM(Layer):
         x = self.ln_final.forward(x)
         return self.head.forward(x)
 
+    def forward_step(self, tokens: np.ndarray, state) -> np.ndarray:
+        """Incremental forward for decoding: extend ``state`` and return logits.
+
+        ``tokens`` is ``(batch, t_new)`` (or 1-D for a single lane) holding the
+        *new* tokens only; ``state`` is a :class:`repro.lm.decode.DecodeState`
+        whose per-layer K/V caches already cover positions
+        ``0 .. state.length - 1``.  The new tokens are embedded at absolute
+        positions ``state.length ..``, attended against the cache, and the
+        caches and ``state.length`` are advanced in place.  Returns logits of
+        shape ``(batch, vocab)`` for the **last** new position of each lane —
+        the final LayerNorm and head are position-wise, so they are applied to
+        that row only, skipping the vocab-sized matmul over the prefix.
+
+        Because absolute position embeddings cap the context, the extended
+        length must stay within ``max_seq_len``; callers fall back to
+        full-window forwards past that point (see ``repro.lm.decode``).
+        No backward caches survive; never interleave with training passes.
+        """
+        tokens = np.asarray(tokens, dtype=np.int64)
+        if tokens.ndim == 1:
+            tokens = tokens[None, :]
+        batch, t_new = tokens.shape
+        if t_new == 0:
+            raise TrainingError("forward_step needs at least one new token")
+        if state.batch != batch:
+            raise TrainingError(f"decode state holds {state.batch} lanes, got a batch of {batch}")
+        offset = state.length
+        if offset + t_new > self.config.max_seq_len:
+            raise TrainingError(
+                f"decode length {offset + t_new} exceeds max_seq_len {self.config.max_seq_len}"
+            )
+        positions = np.broadcast_to(np.arange(offset, offset + t_new), (batch, t_new))
+        x = self.token_embedding.forward(tokens) + self.position_embedding.forward(positions)
+        for block, kv in zip(self.blocks, state.layers):
+            x = block.forward_step(x, kv, offset)
+        state.length = offset + t_new
+        x = self.ln_final.forward(x[:, -1:, :])
+        return self.head.forward(x)[:, 0, :]
+
     def backward(self, dlogits: np.ndarray) -> None:
         """Backpropagate a gradient w.r.t. the logits through the whole model."""
         dx = self.head.backward(dlogits)
@@ -207,3 +246,4 @@ class TransformerLM(Layer):
             if value.shape != param.value.shape:
                 raise TrainingError(f"shape mismatch for {name}: {value.shape} vs {param.value.shape}")
             param.value = value.copy()
+            param.bump()

@@ -35,13 +35,14 @@ MODELCHECK_PHASES = (
 def stage_breakdown(spans) -> dict:
     """Total seconds and span count per stage span name.
 
-    Aggregates spans in the ``"pipeline"``, ``"serving"``, ``"train"`` and
-    ``"jobs"`` categories — the coarse stages whose sum explains where the
-    run's wall clock went.  Returns ``{name: {"seconds": float, "count": int}}``.
+    Aggregates spans in the ``"pipeline"``, ``"serving"``, ``"train"``,
+    ``"jobs"`` and ``"lm"`` categories — the coarse stages whose sum explains
+    where the run's wall clock went.  Returns
+    ``{name: {"seconds": float, "count": int}}``.
     """
     breakdown: dict = {}
     for span in spans:
-        if span.category not in ("pipeline", "serving", "train", "jobs"):
+        if span.category not in ("pipeline", "serving", "train", "jobs", "lm"):
             continue
         entry = breakdown.setdefault(span.name, {"seconds": 0.0, "count": 0})
         entry["seconds"] += span.duration_seconds

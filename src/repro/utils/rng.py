@@ -39,6 +39,23 @@ def spawn_rngs(seed: int | None, count: int) -> list[np.random.Generator]:
     return [np.random.default_rng(child) for child in seq.spawn(count)]
 
 
+def spawn_lane_rngs(
+    seed: int | np.random.Generator | None, count: int
+) -> list[np.random.Generator]:
+    """Derive ``count`` per-lane child generators from a seed or live generator.
+
+    Lane ``i`` always receives the ``i``-th child stream, independent of how
+    many other lanes exist or in what order they are stepped — the property
+    that makes batched LM decoding token-identical to the serial path.  Unlike
+    :func:`spawn_rngs` this accepts a live ``Generator``: spawning advances its
+    internal spawn counter, so successive calls on the same generator yield
+    fresh, non-overlapping families (one per sampling task).
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    return list(seeded_rng(seed).spawn(count))
+
+
 def choice_without_replacement(
     rng: np.random.Generator, items: Sequence, size: int
 ) -> list:

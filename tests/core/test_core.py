@@ -123,3 +123,52 @@ class TestPipelinePieces:
         assert evaluation.per_task
         assert all(t.satisfied_counts == [] for t in evaluation.per_task)
         assert evaluation.satisfaction_ratio() == 0.0
+
+
+def _pipeline_fingerprint(result):
+    """Everything downstream of sampling, reduced to comparable values."""
+    return {
+        "pairs": [
+            (p.prompt, p.chosen, p.rejected, p.chosen_score, p.rejected_score)
+            for p in result.preference_pairs
+        ],
+        "before": [tuple(t.satisfied_counts) for t in result.before_evaluation.per_task],
+        "after": [tuple(t.satisfied_counts) for t in result.after_evaluation.per_task],
+        "losses": tuple(result.dpo_result.history.losses),
+    }
+
+
+class TestBatchedSamplingParity:
+    """PipelineConfig.batched_sampling must be invisible in the outputs: the
+    batched frontier and the serial per-task loop draw the same per-lane RNG
+    streams, so pairs, losses and evaluations are bitwise-identical — and
+    identical again across every serving backend."""
+
+    TASKS = 2  # keep the process-backend run affordable
+
+    def _run(self, *, batched: bool, backend: str = "serial"):
+        import dataclasses
+
+        from repro.serving import ServingConfig
+
+        config = dataclasses.replace(
+            quick_pipeline_config(seed=0),
+            batched_sampling=batched,
+            serving=ServingConfig(backend=backend, max_workers=2),
+        )
+        with DPOAFPipeline(
+            config,
+            specifications=core_specifications(),
+            tasks=training_tasks()[: self.TASKS],
+            validation=(),
+        ) as pipeline:
+            return _pipeline_fingerprint(pipeline.run())
+
+    def test_batched_and_serial_sampling_agree(self):
+        assert self._run(batched=True) == self._run(batched=False)
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_batched_sampling_agrees_across_backends(self, backend):
+        assert self._run(batched=True, backend=backend) == self._run(
+            batched=True, backend="serial"
+        )

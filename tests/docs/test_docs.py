@@ -128,6 +128,32 @@ class TestDocumentationFiles:
         readme = (REPO_ROOT / "README.md").read_text()
         assert "docs/modelcheck.md" in readme, "README.md no longer links the modelcheck guide"
 
+    def test_lm_guide_exists(self):
+        guide = REPO_ROOT / "docs" / "lm.md"
+        assert guide.is_file(), "docs/lm.md is missing"
+        text = guide.read_text()
+        for needle in (
+            "DecodeState",
+            "LaneSpec",
+            "forward_step",
+            "sample_response_frontier",
+            "batched_sampling",          # the pipeline switch is documented
+            "token-identical",           # the determinism contract survives
+            "spawn_lane_rngs",
+            "head_dim = 16",             # the kernel-domain caveat is honest
+            "max_seq_len",               # the window fallback is documented
+            "stack_pair_batch",          # fused DPO
+            "effective_weight",
+            "Parameter.bump",            # the in-place-mutation contract
+            "top_k_filter",
+            "lm.batch_wave",             # span names
+            "lm.decode_step",
+            "make bench-lm",
+        ):
+            assert needle in text, f"docs/lm.md no longer documents {needle!r}"
+        readme = (REPO_ROOT / "README.md").read_text()
+        assert "docs/lm.md" in readme, "README.md no longer links the LM guide"
+
     def test_observability_guide_exists(self):
         guide = REPO_ROOT / "docs" / "observability.md"
         assert guide.is_file(), "docs/observability.md is missing"
@@ -246,6 +272,42 @@ class TestPublicApiDocstrings:
                 and (inspect.isfunction(member) or isinstance(member, property))
                 and not (
                     (member.fget.__doc__ if isinstance(member, property) else member.__doc__)
+                    or ""
+                ).strip()
+            ]
+            assert not undocumented, f"undocumented public methods: {undocumented}"
+
+    def test_every_public_decode_symbol_has_a_docstring(self):
+        import repro.lm.decode as decode
+
+        undocumented = [
+            name
+            for name in dir(decode)
+            if not name.startswith("_")
+            and getattr(getattr(decode, name), "__module__", None) == decode.__name__
+            and not (getattr(decode, name).__doc__ or "").strip()
+        ]
+        assert not undocumented, f"repro.lm.decode symbols missing docstrings: {undocumented}"
+
+    def test_decode_public_methods_are_documented(self):
+        import inspect as _inspect
+
+        from repro.lm.decode import DecodeState, LaneSpec, LayerKV
+
+        for cls in (DecodeState, LaneSpec, LayerKV):
+            undocumented = [
+                f"{cls.__name__}.{name}"
+                for name, member in vars(cls).items()
+                if not name.startswith("_")
+                and (_inspect.isfunction(member) or isinstance(member, (property, classmethod)))
+                and not (
+                    (
+                        member.fget.__doc__
+                        if isinstance(member, property)
+                        else member.__func__.__doc__
+                        if isinstance(member, classmethod)
+                        else member.__doc__
+                    )
                     or ""
                 ).strip()
             ]
@@ -370,6 +432,8 @@ class TestPublicApiDocstrings:
         import repro.serving.scheduler
         import repro.feedback.ranker
         import repro.dpo.stream
+        import repro.lm.decode
+        import repro.lm.sampling
         import repro.modelcheck
         import repro.modelcheck.checker
         import repro.modelcheck.fastpath
@@ -415,6 +479,8 @@ class TestPublicApiDocstrings:
             repro.serving.scheduler,
             repro.feedback.ranker,
             repro.dpo.stream,
+            repro.lm.decode,
+            repro.lm.sampling,
             repro.modelcheck,
             repro.modelcheck.checker,
             repro.modelcheck.fastpath,

@@ -3,7 +3,17 @@
 import numpy as np
 import pytest
 
-from repro.dpo import DPOConfig, DPODataset, DPOTrainer, MultiSeedCurves, TrainingHistory, dpo_step, run_dpo, sigmoid
+from repro.dpo import (
+    DPOConfig,
+    DPODataset,
+    DPOTrainer,
+    MultiSeedCurves,
+    TrainingHistory,
+    dpo_step,
+    run_dpo,
+    sigmoid,
+    stack_pair_batch,
+)
 from repro.errors import TrainingError
 from repro.feedback import PreferencePair
 from repro.lm import ModelConfig, Tokenizer, TransformerLM
@@ -97,6 +107,46 @@ class TestDPOStep:
         assert final.marginal_preference > 0
 
 
+class TestFusedDPOStep:
+    """The fused (stacked chosen+rejected) forward is equivalent to the
+    two-passes-per-model reference path — metrics and gradients alike."""
+
+    @staticmethod
+    def _batch(toy_pairs, toy_tokenizer):
+        dataset = DPODataset.from_preference_pairs(toy_pairs, toy_tokenizer, max_seq_len=48)
+        return next(dataset.batches(3, shuffle=False))
+
+    def test_stack_pair_batch_shapes_and_padding(self, toy_pairs, toy_tokenizer):
+        batch = self._batch(toy_pairs, toy_tokenizer)
+        tokens, mask = stack_pair_batch(batch)
+        width = max(batch["chosen_tokens"].shape[1], batch["rejected_tokens"].shape[1])
+        assert tokens.shape == (6, width) and mask.shape == (6, width - 1)
+        rows = batch["chosen_tokens"].shape[0]
+        narrow = batch["rejected_tokens"].shape[1]
+        assert np.array_equal(tokens[rows:, :narrow], batch["rejected_tokens"])
+        assert not tokens[rows:, narrow:].any()  # pad id 0
+        assert not mask[rows:, narrow - 1:].any()  # padded targets never count
+
+    def test_fused_metrics_match_unfused(self, toy_model, toy_pairs, toy_tokenizer):
+        batch = self._batch(toy_pairs, toy_tokenizer)
+        reference = toy_model.clone()
+        fused = dpo_step(toy_model, reference, batch, beta=0.7, backward=False, fused=True)
+        unfused = dpo_step(toy_model, reference, batch, beta=0.7, backward=False, fused=False)
+        for key, value in fused.as_dict().items():
+            assert value == pytest.approx(unfused.as_dict()[key], abs=1e-5), key
+
+    def test_fused_gradients_match_unfused(self, toy_pairs, toy_tokenizer):
+        batch = self._batch(toy_pairs, toy_tokenizer)
+        config = ModelConfig(vocab_size=toy_tokenizer.vocab_size, max_seq_len=48, dim=16, num_heads=2, num_layers=1, hidden_dim=32)
+        models = [TransformerLM(config, seed=0) for _ in range(2)]
+        for model, fused in zip(models, (True, False)):
+            model.zero_grad()
+            dpo_step(model, model.clone(), batch, beta=0.5, backward=True, fused=fused)
+        for a, b in zip(models[0].parameters(), models[1].parameters()):
+            scale = max(float(np.max(np.abs(b.grad))), 1e-3)
+            assert np.allclose(a.grad, b.grad, atol=scale * 1e-4), a.name
+
+
 class TestTrainer:
     def test_training_improves_metrics_and_checkpoints(self, toy_model, toy_pairs, toy_tokenizer):
         config = DPOConfig(num_epochs=6, batch_size=3, learning_rate=5e-3, checkpoint_every=2, lora_rank=2, seed=0)
@@ -107,6 +157,12 @@ class TestTrainer:
         assert history.marginal_preferences[-1] > 0
         assert set(result.checkpoint_epochs()) == {0, 2, 4, 6}
         assert result.lora_summary["trainable_parameters"] < result.lora_summary["total_parameters"]
+        assert result.throughput["steps"] == 6
+        assert result.throughput["pairs"] == 18  # 3 pairs × 6 epochs
+        assert result.throughput["seconds"] > 0
+        assert result.throughput["pairs_per_second"] == pytest.approx(
+            result.throughput["pairs"] / result.throughput["seconds"]
+        )
 
     def test_model_at_epoch_restores_weights(self, toy_model, toy_pairs, toy_tokenizer):
         config = DPOConfig(num_epochs=2, batch_size=3, checkpoint_every=1, lora_rank=2, seed=0)

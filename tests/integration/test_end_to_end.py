@@ -83,12 +83,12 @@ class TestPipelineEndToEnd:
     @pytest.fixture(scope="class")
     def pipeline_result(self):
         config = PipelineConfig(
-            pretrain=PretrainConfig(num_steps=150, batch_size=12, seed=0),
-            dpo=DPOConfig(num_epochs=10, batch_size=8, learning_rate=3e-3, beta=1.0, lora_rank=4, checkpoint_every=5, seed=0),
+            pretrain=PretrainConfig(num_steps=150, batch_size=12, seed=1),
+            dpo=DPOConfig(num_epochs=10, batch_size=8, learning_rate=3e-3, beta=1.0, lora_rank=4, checkpoint_every=5, seed=1),
             sampling=SamplingConfig(responses_per_prompt=3, max_new_tokens=64),
             feedback=FeedbackConfig(),
             corpus_samples_per_task=16,
-            seed=0,
+            seed=1,
         )
         with DPOAFPipeline(config, specifications=core_specifications(), tasks=training_tasks()[:4], validation=()) as pipeline:
             return pipeline.run(evaluate_checkpoints=True)

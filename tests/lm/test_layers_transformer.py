@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.lm import Adam, ModelConfig, SGD, Tokenizer, TransformerLM
-from repro.lm.layers import LayerNorm, Linear, softmax
+from repro.lm.layers import LayerNorm, Linear, causal_mask, softmax
 from repro.errors import TrainingError
 from repro.utils.rng import seeded_rng
 
@@ -74,6 +74,68 @@ class TestLayers:
         layer = Linear(4, 4, seeded_rng(0))
         with pytest.raises(TrainingError):
             layer.add_lora(0, seeded_rng(1))
+
+
+class TestCausalMaskCache:
+    def test_mask_pattern_square_and_rectangular(self):
+        square = causal_mask(3)
+        assert square.tolist() == [
+            [False, True, True],
+            [False, False, True],
+            [False, False, False],
+        ]
+        # Rectangular: 2 new queries against 5 total keys (KV-cached decode);
+        # query row i may see keys 0 .. total - time + i.
+        rect = causal_mask(2, 5)
+        assert rect.tolist() == [
+            [False, False, False, False, True],
+            [False, False, False, False, False],
+        ]
+
+    def test_mask_is_cached_and_read_only(self):
+        assert causal_mask(4) is causal_mask(4)
+        assert causal_mask(4, 7) is causal_mask(4, 7)
+        assert causal_mask(4) is not causal_mask(4, 5)
+        with pytest.raises(ValueError):
+            causal_mask(4)[0, 0] = True
+
+
+class TestEffectiveWeightCache:
+    def test_cache_reused_until_a_parameter_version_bumps(self):
+        layer = Linear(4, 4, seeded_rng(0))
+        layer.add_lora(2, seeded_rng(1))
+        first = layer.effective_weight()
+        assert layer.effective_weight() is first  # no re-materialisation
+        layer.lora_b.value[:] = 0.25
+        layer.lora_b.bump()
+        second = layer.effective_weight()
+        assert second is not first
+        assert not np.allclose(second, first)
+
+    def test_optimizer_step_invalidates_the_cache(self):
+        layer = Linear(4, 4, seeded_rng(0))
+        layer.add_lora(2, seeded_rng(1))
+        x = np.ones((1, 2, 4), dtype=np.float32)
+        cached = layer.effective_weight()
+        optimizer = Adam(layer.parameters(), learning_rate=1e-2)
+        optimizer.zero_grad()
+        layer.backward(np.ones_like(layer.forward(x)))
+        optimizer.step()
+        assert layer.effective_weight() is not cached  # Adam bumped the versions
+
+    def test_merge_lora_drops_the_cache(self):
+        layer = Linear(4, 4, seeded_rng(0))
+        layer.add_lora(2, seeded_rng(1))
+        layer.lora_b.value[:] = 0.3
+        layer.lora_b.bump()
+        with_adapter = layer.effective_weight().copy()
+        layer.merge_lora()
+        assert np.allclose(layer.effective_weight(), with_adapter, atol=1e-5)
+
+    def test_load_state_dict_bumps_versions(self, tiny_model):
+        versions = {p.name: p.version for p in tiny_model.parameters()}
+        tiny_model.load_state_dict(tiny_model.state_dict())
+        assert all(p.version > versions[p.name] for p in tiny_model.parameters())
 
 
 class TestTransformer:

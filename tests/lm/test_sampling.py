@@ -1,0 +1,84 @@
+"""Tests for the sampling draw helpers and per-lane RNG spawning."""
+
+import numpy as np
+import pytest
+
+from repro.lm import sample_from_logits, top_k_filter
+from repro.lm.layers import softmax
+from repro.utils.rng import seeded_rng, spawn_lane_rngs
+
+
+class TestTopKFilter:
+    def test_keeps_exactly_k_without_ties(self):
+        scaled = np.array([0.1, 3.0, 2.0, -1.0, 5.0], dtype=np.float32)
+        out = top_k_filter(scaled, 2)
+        assert int(np.count_nonzero(out > -1e29)) == 2
+        assert out[4] == scaled[4] and out[1] == scaled[1]
+
+    def test_tie_at_cutoff_keeps_exactly_k(self):
+        """Regression: the sort-based filter kept *every* tie at the cutoff,
+        inflating the kept set past k.  Ties survive lowest-index-first."""
+        scaled = np.array([2.0, 1.0, 1.0, 1.0, 0.5], dtype=np.float32)
+        out = top_k_filter(scaled, 3)
+        kept = np.flatnonzero(out > -1e29)
+        assert kept.tolist() == [0, 1, 2]  # the index-3 tie is cut
+
+    def test_all_equal_logits(self):
+        out = top_k_filter(np.zeros(6, dtype=np.float32), 4)
+        assert np.flatnonzero(out > -1e29).tolist() == [0, 1, 2, 3]
+
+    def test_k_equal_to_vocab_keeps_everything(self):
+        scaled = np.array([1.0, -2.0, 0.5], dtype=np.float32)
+        assert np.array_equal(top_k_filter(scaled, 3), scaled)
+
+    def test_filtered_mass_is_negligible_after_softmax(self):
+        probabilities = softmax(top_k_filter(np.array([4.0, 3.0, 2.0, 1.0], dtype=np.float32), 2))
+        assert probabilities[2] == 0.0 and probabilities[3] == 0.0
+        assert probabilities.sum() == pytest.approx(1.0)
+
+
+class TestSampleFromLogits:
+    def test_zero_temperature_is_greedy(self):
+        logits = np.array([0.0, 2.0, 1.0], dtype=np.float32)
+        assert sample_from_logits(logits, seeded_rng(0), temperature=0.0, top_k=None) == 1
+
+    def test_top_k_one_is_greedy_for_any_draw(self):
+        logits = np.array([0.0, 2.0, 1.0], dtype=np.float32)
+        for seed in range(5):
+            assert sample_from_logits(logits, seeded_rng(seed), temperature=1.0, top_k=1) == 1
+
+    def test_identical_rng_state_gives_identical_token(self):
+        logits = np.random.default_rng(0).normal(size=40).astype(np.float32)
+        a = sample_from_logits(logits, seeded_rng(7), temperature=1.0, top_k=10)
+        b = sample_from_logits(logits, seeded_rng(7), temperature=1.0, top_k=10)
+        assert a == b
+
+
+class TestSpawnLaneRngs:
+    def test_same_seed_spawns_identical_families(self):
+        first = [r.integers(0, 1 << 30) for r in spawn_lane_rngs(5, 3)]
+        second = [r.integers(0, 1 << 30) for r in spawn_lane_rngs(5, 3)]
+        assert first == second
+
+    def test_live_generator_advances_spawn_counter(self):
+        """Two calls on one live generator give disjoint families — the
+        property that makes per-task spawns line up between the serial loop
+        and the batched frontier."""
+        rng = seeded_rng(5)
+        first = [r.integers(0, 1 << 30) for r in spawn_lane_rngs(rng, 2)]
+        second = [r.integers(0, 1 << 30) for r in spawn_lane_rngs(rng, 2)]
+        assert first != second
+        replay = seeded_rng(5)
+        assert [r.integers(0, 1 << 30) for r in spawn_lane_rngs(replay, 2)] == first
+        assert [r.integers(0, 1 << 30) for r in spawn_lane_rngs(replay, 2)] == second
+
+    def test_zero_count_is_a_no_op_on_the_stream(self):
+        rng_a, rng_b = seeded_rng(3), seeded_rng(3)
+        assert spawn_lane_rngs(rng_a, 0) == []
+        assert [r.integers(0, 1 << 30) for r in spawn_lane_rngs(rng_a, 2)] == [
+            r.integers(0, 1 << 30) for r in spawn_lane_rngs(rng_b, 2)
+        ]
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_lane_rngs(0, -1)
